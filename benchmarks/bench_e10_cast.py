@@ -1,0 +1,67 @@
+"""E10 -- Lemmas 1.5 / 1.6: upcast and downcast over forests.
+
+Measures, for forests of varying depth d and input volumes In:
+upcast rounds vs. the O(In/log n + d) pipelining bound and messages vs.
+O(d * In/log n); downcast rounds vs. O(|M| + d) and messages vs.
+O(d * |M|).  The transport engine is the one used inside both
+simulation frameworks, so this is also their unit cost model.
+"""
+
+from conftest import run_once
+
+from repro.analysis import print_table, record_extra_info
+from repro.graphs import path, random_tree
+from repro.primitives import (
+    Packet,
+    downcast_packets,
+    route_packets,
+    tree_depths,
+    upcast_packets,
+)
+
+
+def _experiment():
+    rows = []
+    for n, items_per_node in ((32, 1), (32, 4), (64, 2)):
+        for maker, label in ((path, "path"), (random_tree, "random_tree")):
+            g = maker(n) if maker is path else maker(n, seed=n)
+            # Root the tree at node 0 by BFS.
+            from repro.baselines.reference import bfs_distances
+            dist = bfs_distances(g, 0)
+            parent = {0: None}
+            for v in range(1, n):
+                parent[v] = min(u for u in g.neighbors(v)
+                                if dist[u] == dist[v] - 1)
+            depth = max(tree_depths(parent).values())
+            items = {v: [("x", v, i) for i in range(items_per_node)]
+                     for v in range(1, n)}
+            total_items = sum(len(v) for v in items.values())
+            packets = upcast_packets(parent, items)
+            _d, up = route_packets(g, packets)
+            messages = [(v, ("y", v)) for v in range(1, n)]
+            packets = downcast_packets(parent, messages)
+            _d, down = route_packets(g, packets)
+            rows.append((label, n, depth, total_items,
+                         up.rounds, total_items + depth,
+                         up.messages,
+                         down.rounds, len(messages) + depth,
+                         down.messages))
+    return rows
+
+
+def test_e10_upcast_downcast(benchmark):
+    rows = run_once(benchmark, _experiment)
+    table = print_table(
+        ["tree", "n", "depth d", "items In", "up rounds", "In+d",
+         "up msgs", "down rounds", "|M|+d", "down msgs"],
+        rows, title="E10: upcast/downcast costs (Lemmas 1.5 / 1.6)")
+    for row in rows:
+        _label, _n, depth, items, up_rounds, up_bound, up_msgs, \
+            down_rounds, down_bound, down_msgs = row
+        # Pipelining bounds, with a small constant.
+        assert up_rounds <= 2 * up_bound + 2
+        assert down_rounds <= 2 * down_bound + 2
+        # Message bounds: one message per item per tree hop.
+        assert up_msgs <= items * depth
+        assert down_msgs <= down_bound * depth
+    record_extra_info(benchmark, table)

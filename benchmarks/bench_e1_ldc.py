@@ -1,0 +1,67 @@
+"""E1 -- Lemma 2.4: (O(log n), O(log n))-LDC decompositions.
+
+Regenerates the quantities of Definition 2.3 (and the three quantities
+depicted in the paper's Figure 1: cluster count, max strong diameter,
+max F-out-degree) over an n sweep on G(n, p) and on grids, plus the
+beta ablation called out in DESIGN.md.  Claim shape: both the realized
+r and d stay O(log n) while n quadruples.
+"""
+
+import math
+
+from conftest import run_once
+
+from repro.analysis import print_table, record_extra_info
+from repro.decomposition import build_ldc, verify_ldc
+from repro.graphs import gnp, grid
+
+
+def _sweep():
+    rows = []
+    for n in (16, 32, 64, 128):
+        g = gnp(n, min(0.5, 8.0 / n + 0.1), seed=n)
+        ldc = build_ldc(g, seed=n)
+        stats = verify_ldc(g, ldc)
+        rows.append((g.name, n, stats["clusters"], stats["r"], stats["d"],
+                     round(math.log2(n), 1), ldc.metrics.rounds))
+    g = grid(8, 8)
+    ldc = build_ldc(g, seed=7)
+    stats = verify_ldc(g, ldc)
+    rows.append((g.name, g.n, stats["clusters"], stats["r"], stats["d"],
+                 round(math.log2(g.n), 1), ldc.metrics.rounds))
+    return rows
+
+
+def _beta_ablation():
+    g = gnp(64, 0.2, seed=9)
+    rows = []
+    for beta in (0.25, 0.5, 1.0):
+        ldc = build_ldc(g, beta=beta, seed=11)
+        stats = verify_ldc(g, ldc)
+        rows.append((beta, stats["clusters"], stats["r"], stats["d"]))
+    return rows
+
+
+def test_e1_ldc_decomposition(benchmark):
+    rows = run_once(benchmark, _sweep)
+    table = print_table(
+        ["graph", "n", "clusters", "diam r", "F-deg d", "log2 n", "rounds"],
+        rows, title="E1: LDC decompositions (Lemma 2.4 / Figure 1)")
+    for _name, n, _clusters, r, d, _log, rounds in rows:
+        bound = 8 * math.log2(n) + 4
+        assert r <= bound, f"strong diameter {r} not O(log n) at n={n}"
+        assert d <= bound, f"F-degree {d} not O(log n) at n={n}"
+        assert rounds <= 20 * math.log2(n) + 20
+    record_extra_info(benchmark, table, max_r=max(r[3] for r in rows),
+                      max_d=max(r[4] for r in rows))
+
+
+def test_e1_beta_ablation(benchmark):
+    rows = run_once(benchmark, _beta_ablation)
+    table = print_table(
+        ["beta", "clusters", "diam r", "F-deg d"], rows,
+        title="E1b: MPX rate ablation (diameter vs. communication trade)")
+    # Larger beta -> more clusters and smaller diameters.
+    clusters = [row[1] for row in rows]
+    assert clusters[0] <= clusters[-1]
+    record_extra_info(benchmark, table)

@@ -1,0 +1,63 @@
+"""E3 -- Theorem 1.2: the unweighted-APSP message-time trade-off curve.
+
+Sweeps eps over {0, 0.25, 0.4, 0.5, 0.75, 1.0} at fixed n and records
+messages and rounds for each regime (message-optimal / batched+landmarks
+/ star; eps = 1.0 is compared against the direct round-optimal
+execution, which is what the star simulation degenerates to).  Claim
+shape: messages increase and (scheduled) rounds decrease along the
+curve, exactness everywhere.
+"""
+
+from conftest import run_once
+
+from repro.analysis import print_table, record_extra_info
+from repro.baselines.apsp_direct import apsp_direct_unweighted
+from repro.baselines.reference import unweighted_apsp
+from repro.core import apsp_tradeoff
+from repro.graphs import gnp
+
+
+N = 32
+EPS_GRID = (0.0, 0.25, 0.4, 0.5, 0.75, 1.0)
+
+
+def _sweep():
+    g = gnp(N, 0.4, seed=N)
+    ref = unweighted_apsp(g)
+    rows = []
+    for eps in EPS_GRID:
+        result = apsp_tradeoff(g, eps, seed=N)
+        assert result.dist == ref, f"eps={eps} must be exact"
+        rounds = result.detail.get("rounds_scheduled", result.metrics.rounds)
+        rows.append((eps, result.regime.split(" ")[0],
+                     result.metrics.messages, result.metrics.rounds,
+                     rounds))
+    direct = apsp_direct_unweighted(g, seed=N)
+    assert direct.dist == ref
+    rows.append(("direct", "round-optimal", direct.metrics.messages,
+                 direct.metrics.rounds, direct.metrics.rounds))
+    return rows
+
+
+def test_e3_tradeoff_curve(benchmark):
+    rows = run_once(benchmark, _sweep)
+    table = print_table(
+        ["eps", "regime", "messages", "rounds (seq)", "rounds (sched)"],
+        rows, title=f"E3: unweighted APSP trade-off (Theorem 1.2), n={N}")
+    # Endpoint ordering: the message-optimal end uses fewer messages and
+    # more rounds than the round-optimal direct execution.
+    msg_opt = rows[0]
+    direct = rows[-1]
+    assert msg_opt[2] < direct[2], "eps=0 must be the message-frugal end"
+    assert msg_opt[3] > direct[3], "eps=0 must pay in rounds"
+    # The eps = 0 end is the global message minimum across the curve.
+    assert msg_opt[2] == min(r[2] for r in rows), \
+        "eps=0 must minimize messages over the whole curve"
+    # The round-optimal end (eps = 1, where the star simulation
+    # degenerates to direct broadcast) runs far fewer rounds than eps=0.
+    eps1 = next(r for r in rows if r[0] == 1.0)
+    assert eps1[4] < msg_opt[4] / 2, \
+        "eps=1 must be the round-frugal end"
+    record_extra_info(benchmark, table,
+                      msg_optimal_messages=msg_opt[2],
+                      direct_messages=direct[2])

@@ -1,0 +1,82 @@
+"""E4 -- Theorem 1.4: random-delay scheduling of n BFS algorithms.
+
+Measures, over an n sweep: (i) completion round vs. the ell + dilation
+scale, and (ii) the maximum number of distinct BFS ids any node hears in
+a single round vs. log2 n.  Claim shape: completion stays within a
+small constant of ell + dilation, and the distinct-id maximum stays
+within a small constant of log2 n while n quadruples.
+"""
+
+import math
+
+from conftest import run_once
+
+from repro.analysis import print_table, record_extra_info
+from repro.congest.scheduler import measure_bfs_schedule
+from repro.graphs import gnp, grid
+
+
+def _sweep():
+    rows = []
+    for n in (16, 32, 64, 128):
+        g = gnp(n, min(0.5, 8.0 / n + 0.05), seed=n + 1)
+        m = measure_bfs_schedule(g, seed=n)
+        rows.append((g.name, n, m.ell, m.dilation, m.completion_round,
+                     m.bound_rounds, m.max_distinct_bfs_per_node_round,
+                     round(math.log2(n), 1), m.max_message_words))
+    g = grid(6, 6)
+    m = measure_bfs_schedule(g, seed=3)
+    rows.append((g.name, g.n, m.ell, m.dilation, m.completion_round,
+                 m.bound_rounds, m.max_distinct_bfs_per_node_round,
+                 round(math.log2(g.n), 1), m.max_message_words))
+    return rows
+
+
+def test_e4_bfs_scheduling(benchmark):
+    rows = run_once(benchmark, _sweep)
+    table = print_table(
+        ["graph", "n", "ell", "dilation", "completed", "ell+dil",
+         "max ids/round", "log2 n", "max msg words"],
+        rows, title="E4: delayed BFS scheduling (Theorem 1.4)")
+    for row in rows:
+        _g, n, _ell, _dil, completed, bound, max_ids, log_n, words = row
+        # (i): completion within a small constant of ell + dilation.
+        assert completed <= 3 * bound + 10
+        # (ii): O(log n) distinct BFS per node-round.
+        assert max_ids <= 6 * log_n + 6, f"{max_ids} ids at n={n}"
+        # Combined messages stay Õ(1) words (3 words per id record).
+        assert words <= 3 * (6 * log_n + 6)
+    record_extra_info(benchmark, table,
+                      worst_ids=max(r[6] for r in rows))
+
+
+def _composed():
+    """E4b: the literal Theorem 1.3 composition -- several single-source
+    BFS algorithms paced concurrently over shared edge capacity."""
+    from repro.congest.composer import compose_machines
+    from repro.primitives import BFSMachine
+
+    rows = []
+    for n, k in ((25, 5), (36, 8), (49, 12)):
+        g = grid(int(n ** 0.5), int(n ** 0.5))
+        roots = list(range(0, g.n, max(1, g.n // k)))[:k]
+        composed = compose_machines(
+            g, [(lambda r: lambda info: BFSMachine(info, root=r))(r)
+                for r in roots], seed=n)
+        bound = composed.congestion + composed.dilation * math.log2(g.n)
+        rows.append((g.name, g.n, len(roots), composed.congestion,
+                     composed.dilation, composed.completion_round,
+                     round(bound, 0)))
+    return rows
+
+
+def test_e4b_literal_composition(benchmark):
+    rows = run_once(benchmark, _composed)
+    table = print_table(
+        ["graph", "n", "components", "congestion", "dilation",
+         "completed", "cong+dil*log n"],
+        rows, title="E4b: literal Theorem 1.3 composition (shared capacity)")
+    for row in rows:
+        _g, _n, _k, _c, _d, completed, bound = row
+        assert completed <= 3 * bound + 10
+    record_extra_info(benchmark, table)

@@ -1,0 +1,48 @@
+"""E5 -- Lemma 3.7: P[edge is a cluster edge] = O(kappa * n^{-eps}).
+
+Monte-Carlo over independently built pruned hierarchies: the empirical
+per-edge probability of being a cluster edge, against the lemma's
+kappa * n^{-eps} scale, over an eps grid and an n sweep.  Claim shape:
+the measured probability tracks the scale within a small constant and
+decreases with both eps and n.
+"""
+
+from conftest import run_once
+
+from repro.analysis import print_table, record_extra_info
+from repro.decomposition import cluster_edge_probability
+from repro.graphs import gnp
+
+TRIALS = 10
+
+
+def _sweep():
+    rows = []
+    for n in (24, 48, 96):
+        g = gnp(n, min(0.4, 10.0 / n + 0.05), seed=n + 5)
+        for eps in (0.34, 0.5, 1.0):
+            stats = cluster_edge_probability(g, eps, trials=TRIALS, seed=n)
+            rows.append((n, eps, stats["kappa"],
+                         round(stats["probability"], 4),
+                         round(stats["bound_scale"], 4),
+                         round(stats["probability"]
+                               / max(1e-9, stats["bound_scale"]), 2)))
+    return rows
+
+
+def test_e5_cluster_edge_probability(benchmark):
+    rows = run_once(benchmark, _sweep)
+    table = print_table(
+        ["n", "eps", "kappa", "P[cluster edge]", "kappa*n^-eps", "ratio"],
+        rows, title="E5: cluster-edge probability (Lemma 3.7), "
+                    f"{TRIALS} trials")
+    for n, eps, _kappa, prob, scale, _ratio in rows:
+        assert prob <= 4 * scale + 0.02, (
+            f"probability {prob} exceeds O-scale {scale} at n={n},eps={eps}")
+    # Decreasing in eps at fixed n.
+    by_n = {}
+    for row in rows:
+        by_n.setdefault(row[0], []).append(row[3])
+    for n, probs in by_n.items():
+        assert probs[0] >= probs[-1] - 0.02, f"not decreasing in eps at n={n}"
+    record_extra_info(benchmark, table)

@@ -1,0 +1,58 @@
+"""E8 -- Corollary 2.9: (k, W)-sparse neighborhood covers.
+
+For k in {2, 3} and W in {2, 3}: verifies all three cover properties
+(depth O(Wk), per-vertex overlap Õ(k n^{1/k}), W-padding) and records
+the broadcast complexity against the Õ(n^{1+1/k}) scale, plus the
+message advantage of simulating the construction (Theorem 2.1) over
+running it directly.
+"""
+
+from conftest import run_once
+
+from repro.analysis import print_table, record_extra_info
+from repro.core import neighborhood_cover, neighborhood_cover_direct
+from repro.graphs import gnp
+
+
+def _sweep():
+    rows = []
+    g = gnp(40, 0.25, seed=88)
+    for k in (2, 3):
+        for w in (2, 3):
+            result = neighborhood_cover_direct(g, k, w, seed=88)
+            stats = result.cover.verify(g)
+            rows.append((g.n, k, w, stats["repetitions"],
+                         stats["max_depth"], stats["depth_bound"],
+                         stats["max_overlap"],
+                         result.metrics.broadcasts,
+                         round(result.metrics.broadcasts
+                               / g.n ** (1 + 1.0 / k), 2)))
+    return rows
+
+
+def _simulated():
+    g = gnp(24, 0.3, seed=89)
+    direct = neighborhood_cover_direct(g, 2, 2, seed=89, boost=1.0)
+    sim = neighborhood_cover(g, 2, 2, seed=89, boost=1.0)
+    return [(g.n, g.m, direct.metrics.messages, sim.metrics.messages)]
+
+
+def test_e8_cover_properties(benchmark):
+    rows = run_once(benchmark, _sweep)
+    table = print_table(
+        ["n", "k", "W", "trees/vertex", "max depth", "O(kW) bound",
+         "overlap", "broadcasts B", "B/n^{1+1/k}"],
+        rows, title="E8: neighborhood covers (Corollary 2.9)")
+    for row in rows:
+        assert row[4] <= row[5], "depth property violated"
+        assert row[6] == row[3], "overlap = repetitions (one tree each)"
+        assert row[8] <= 25, "broadcast complexity not Õ(n^{1+1/k})-shaped"
+    record_extra_info(benchmark, table)
+
+
+def test_e8_cover_simulated(benchmark):
+    rows = run_once(benchmark, _simulated)
+    table = print_table(
+        ["n", "m", "direct msgs", "sim msgs"],
+        rows, title="E8b: cover construction, direct vs simulated")
+    record_extra_info(benchmark, table)

@@ -1,0 +1,60 @@
+"""E9 -- Theorems 3.3 / 3.4 and the [5] spanner byproduct.
+
+Over a kappa sweep on dense G(n, p): hierarchy properties (radius <=
+level, F-degree Õ(n^eps)), construction cost (O(kappa m) messages,
+O(kappa²)-ish rounds), spanner size vs. the O(n^{1+1/kappa}) scale and
+exact worst-case stretch vs. the 2 kappa - 1 guarantee.
+"""
+
+from conftest import run_once
+
+from repro.analysis import print_table, record_extra_info
+from repro.baselines.reference import unweighted_apsp
+from repro.decomposition import build_baswana_sen, verify_hierarchy
+from repro.graphs import from_edges, gnp
+
+
+def _stretch(g, spanner_edges):
+    sg = from_edges(g.n, spanner_edges)
+    dist_g = unweighted_apsp(g)
+    dist_s = unweighted_apsp(sg)
+    worst = 1.0
+    for u in g.nodes():
+        for v in g.neighbors(u):
+            worst = max(worst, dist_s[u][v] / max(1, dist_g[u][v]))
+    return worst
+
+
+def _sweep():
+    g = gnp(48, 0.4, seed=91)
+    rows = []
+    for kappa, eps in ((1, 1.0), (2, 0.5), (3, 0.34)):
+        h = build_baswana_sen(g, eps, seed=91)
+        stats = verify_hierarchy(g, h)
+        spanner = h.spanner_edges(g)
+        stretch = _stretch(g, spanner)
+        rows.append((kappa, eps, stats["max_radius"],
+                     stats["max_f_degree"], len(spanner),
+                     round(g.n ** (1 + 1.0 / kappa), 0),
+                     stretch, 2 * kappa - 1,
+                     h.metrics.messages, h.metrics.rounds))
+    return rows, g.m
+
+
+def test_e9_baswana_sen(benchmark):
+    rows, m = run_once(benchmark, lambda: _sweep())
+    table = print_table(
+        ["kappa", "eps", "radius", "max F-deg", "spanner edges",
+         "n^{1+1/k}", "stretch", "2k-1", "msgs", "rounds"],
+        rows, title=f"E9: Baswana-Sen hierarchies and spanners (m={m})")
+    for row in rows:
+        kappa = row[0]
+        assert row[2] <= kappa, "cluster radius exceeds level bound"
+        assert row[6] <= row[7], "spanner stretch exceeds 2k-1"
+        # Spanner size within a polylog factor of n^{1+1/kappa}.
+        assert row[4] <= 6 * row[5]
+        # Construction messages O(kappa * m).
+        assert row[8] <= 30 * kappa * m
+    # Size decreases with kappa on dense graphs.
+    assert rows[0][4] >= rows[-1][4]
+    record_extra_info(benchmark, table)

@@ -1,0 +1,42 @@
+#!/usr/bin/env python
+"""Scenario: distributed task assignment via bipartite maximum matching.
+
+Workers and tasks form a bipartite compatibility graph; each node is a
+machine that only talks to its compatible counterparts.  Corollary 2.8
+computes an exact maximum assignment with Õ(n²) messages -- no central
+coordinator ever sees the whole graph.  Run:
+
+    python examples/matching_assignment.py
+"""
+
+from repro import maximum_matching
+from repro.baselines.reference import maximum_matching_size
+from repro.graphs import random_bipartite
+
+
+def main() -> None:
+    workers, tasks = 9, 11
+    graph = random_bipartite(workers, tasks, 0.35, seed=23)
+    print(f"compatibility graph: {graph.name} (m={graph.m} edges)")
+
+    result = maximum_matching(graph, seed=23)
+    optimal = maximum_matching_size(graph)
+    assert result.size == optimal, "the distributed matching must be maximum"
+
+    print(f"\nassigned {result.size} of {workers} workers "
+          f"(optimal = {optimal}):")
+    for u, v in sorted(result.matching):
+        worker, task = (u, v) if u < workers else (v, u)
+        print(f"  worker {worker:>2}  ->  task {task - workers:>2}")
+
+    print("\ncost accounting:")
+    print(f"  s bound (2x maximal matching): {result.s_bound}")
+    print(f"  simulated phases (rounds of the BCONGEST algorithm): "
+          f"{int(result.detail['phases'])}")
+    print(f"  broadcasts of the simulated algorithm: "
+          f"{int(result.detail['broadcasts'])}")
+    print(f"  total CONGEST messages: {result.metrics.messages}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Scenario: building sparse neighborhood covers for locality-aware services.
+
+A cluster manager wants, for every node, a small tree that contains its
+whole 2-hop neighborhood -- the primitive behind low-stretch routing
+tables, local fault diagnosis, and synchronizers.  Corollary 2.9
+constructs a (k, W)-sparse neighborhood cover distributedly: trees of
+depth O(kW), every node in only Õ(n^{1/k}) trees, every W-ball covered.
+Run:
+
+    python examples/network_coverage.py
+"""
+
+from repro.baselines.reference import bfs_distances
+from repro.core import neighborhood_cover_direct
+from repro.graphs import gnp
+
+
+def main() -> None:
+    k, w = 2, 2
+    graph = gnp(36, 0.2, seed=41)
+    print(f"network: {graph.name} (n={graph.n}, m={graph.m})")
+    print(f"building a ({k}, {w})-sparse neighborhood cover...")
+
+    result = neighborhood_cover_direct(graph, k, w, seed=41)
+    cover = result.cover
+    stats = cover.verify(graph)
+
+    print("\ncover properties (all three verified exhaustively):")
+    print(f"  (1) max tree depth:        {stats['max_depth']}"
+          f"   (bound O(kW) = {stats['depth_bound']})")
+    print(f"  (2) trees per vertex:      {stats['max_overlap']}"
+          f"   (Õ(k n^(1/k)) scale = {stats['overlap_bound']})")
+    print(f"  (3) every 2-ball covered:  yes")
+
+    # Show one node's covering tree in detail.
+    v = 7
+    rep = cover.padded_repetition(graph, v)
+    clustering = cover.clusterings[rep]
+    center = clustering.center_of[v]
+    members = [u for u, c in clustering.center_of.items() if c == center]
+    ball = sorted(bfs_distances(graph, v, max_depth=w))
+    print(f"\nnode {v}: its {w}-neighborhood has {len(ball)} nodes; "
+          f"repetition {rep}'s tree rooted at {center} "
+          f"contains all of them ({len(members)} members).")
+
+    print("\nconstruction cost (measured):")
+    print(f"  broadcasts: {result.metrics.broadcasts} "
+          f"(= repetitions x n = {int(result.detail['repetitions'])} x {graph.n})")
+    print(f"  messages:   {result.metrics.messages}")
+    print(f"  rounds:     {result.metrics.rounds}")
+    print("\nFeed the same machine to repro.simulate_bcongest to get the")
+    print("Õ(n²)-message version of Corollary 2.9.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+#!/usr/bin/env python
+"""Scenario: dialing the message-time trade-off for unweighted APSP.
+
+A sensor-network operator wants all-pairs hop distances but pays for
+radio transmissions (messages), not wall-clock rounds -- or the other
+way around, depending on the deployment.  Theorem 1.2 gives a knob:
+eps = 0 minimizes messages, eps = 1 minimizes rounds, and intermediate
+values interpolate.  This example sweeps the knob on one network and
+prints the measured curve.  Run:
+
+    python examples/tradeoff_curve.py
+"""
+
+from repro import apsp_tradeoff
+from repro.baselines.reference import unweighted_apsp
+from repro.graphs import gnp
+
+
+def main() -> None:
+    n = 28
+    graph = gnp(n, 0.35, seed=11)
+    reference = unweighted_apsp(graph)
+    print(f"network: {graph.name}  (n={graph.n}, m={graph.m})\n")
+    print(f"{'eps':>5}  {'regime':<30} {'messages':>9}  {'rounds':>7}")
+    print("-" * 58)
+    for eps in (0.0, 0.25, 0.4, 0.5, 0.75, 1.0):
+        result = apsp_tradeoff(graph, eps, seed=11)
+        assert result.dist == reference, f"eps={eps} must stay exact"
+        rounds = result.detail.get("rounds_scheduled",
+                                   result.metrics.rounds)
+        print(f"{eps:>5}  {result.regime:<30} "
+              f"{result.metrics.messages:>9}  {int(rounds):>7}")
+    print("\nEvery point computes the exact same distances; only the")
+    print("communication profile changes (Theorem 1.2).  The eps < 1/2")
+    print("points combine depth-capped BFS batches over an ensemble of")
+    print("pruned Baswana-Sen hierarchies with landmark completion;")
+    print("eps >= 1/2 uses the star-cluster simulation of Theorem 3.10.")
+
+
+if __name__ == "__main__":
+    main()

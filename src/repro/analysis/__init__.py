@@ -1,0 +1,15 @@
+"""Exponent fitting and experiment-table helpers."""
+
+from repro.analysis.complexity import (
+    ExponentFit,
+    crossover_point,
+    fit_exponent,
+    is_monotone,
+    ratio_trend,
+)
+from repro.analysis.reporting import format_table, print_table, record_extra_info
+
+__all__ = [
+    "ExponentFit", "crossover_point", "fit_exponent", "format_table",
+    "is_monotone", "print_table", "ratio_trend", "record_extra_info",
+]

@@ -1,0 +1,13 @@
+"""Round-optimal (message-heavy) baselines and sequential oracles."""
+
+from repro.baselines.apsp_direct import (
+    DirectAPSPResult,
+    apsp_direct_unweighted,
+    apsp_direct_weighted,
+)
+from repro.baselines import reference
+
+__all__ = [
+    "DirectAPSPResult", "apsp_direct_unweighted", "apsp_direct_weighted",
+    "reference",
+]

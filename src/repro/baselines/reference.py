@@ -1,0 +1,212 @@
+"""Sequential ground-truth oracles.
+
+Every distributed result in this repository is checked against a plain
+sequential computation: BFS / Dijkstra / Bellman-Ford shortest paths,
+Floyd-Warshall APSP, and Hopcroft-Karp maximum bipartite matching.
+These implementations are deliberately simple and independent of the
+distributed code paths; tests additionally cross-check them against
+networkx and scipy where those are available.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.graphs.graph import Graph
+
+INF = float("inf")
+
+
+def bfs_distances(g: Graph, source: int,
+                  max_depth: Optional[int] = None) -> Dict[int, int]:
+    """Hop distances from ``source`` (optionally capped at ``max_depth``)."""
+    dist = {source: 0}
+    queue = deque([source])
+    while queue:
+        u = queue.popleft()
+        if max_depth is not None and dist[u] >= max_depth:
+            continue
+        for v in g.neighbors(u):
+            if v not in dist:
+                dist[v] = dist[u] + 1
+                queue.append(v)
+    return dist
+
+
+def unweighted_apsp(g: Graph) -> List[List[float]]:
+    """n x BFS; entry [u][v] is the hop distance (inf if unreachable)."""
+    out = []
+    for u in g.nodes():
+        dist = bfs_distances(g, u)
+        out.append([dist.get(v, INF) for v in g.nodes()])
+    return out
+
+
+def dijkstra(g: Graph, source: int) -> Dict[int, float]:
+    """Non-negative weighted SSSP from ``source`` (directed weights)."""
+    dist: Dict[int, float] = {source: 0}
+    heap: List[Tuple[float, int]] = [(0, source)]
+    done: Set[int] = set()
+    while heap:
+        d, u = heapq.heappop(heap)
+        if u in done:
+            continue
+        done.add(u)
+        for v in g.neighbors(u):
+            w = g.weight(u, v)
+            if w < 0:
+                raise ValueError("dijkstra requires non-negative weights")
+            nd = d + w
+            if nd < dist.get(v, INF):
+                dist[v] = nd
+                heapq.heappush(heap, (nd, v))
+    return dist
+
+
+def bellman_ford(g: Graph, source: int) -> Dict[int, float]:
+    """Weighted SSSP tolerating negative (directed) weights."""
+    dist: Dict[int, float] = {v: INF for v in g.nodes()}
+    dist[source] = 0
+    for _ in range(g.n - 1):
+        changed = False
+        for u in g.nodes():
+            du = dist[u]
+            if du == INF:
+                continue
+            for v in g.neighbors(u):
+                nd = du + g.weight(u, v)
+                if nd < dist[v]:
+                    dist[v] = nd
+                    changed = True
+        if not changed:
+            break
+    # Negative-cycle check: one more relaxation pass must be stable.
+    for u in g.nodes():
+        if dist[u] == INF:
+            continue
+        for v in g.neighbors(u):
+            if dist[u] + g.weight(u, v) < dist[v]:
+                raise ValueError("graph contains a negative cycle")
+    return dist
+
+
+def weighted_apsp(g: Graph) -> List[List[float]]:
+    """Exact weighted APSP; uses Dijkstra when possible, else Bellman-Ford."""
+    has_negative = g.is_weighted and any(
+        g.weight(u, v) < 0 for u in g.nodes() for v in g.neighbors(u))
+    out = []
+    for u in g.nodes():
+        dist = bellman_ford(g, u) if has_negative else dijkstra(g, u)
+        out.append([dist.get(v, INF) for v in g.nodes()])
+    return out
+
+
+def floyd_warshall(g: Graph) -> List[List[float]]:
+    """Independent APSP oracle (O(n^3)), used to cross-check the above."""
+    n = g.n
+    dist = [[INF] * n for _ in range(n)]
+    for u in g.nodes():
+        dist[u][u] = 0
+        for v in g.neighbors(u):
+            w = g.weight(u, v)
+            if w < dist[u][v]:
+                dist[u][v] = w
+    for k in range(n):
+        dk = dist[k]
+        for i in range(n):
+            dik = dist[i][k]
+            if dik == INF:
+                continue
+            di = dist[i]
+            for j in range(n):
+                nd = dik + dk[j]
+                if nd < di[j]:
+                    di[j] = nd
+    return dist
+
+
+def hopcroft_karp(g: Graph) -> Set[Tuple[int, int]]:
+    """Maximum matching in a bipartite graph, as a set of (u, v), u < v."""
+    sides = g.is_bipartite()
+    if sides is None:
+        raise ValueError("hopcroft_karp requires a bipartite graph")
+    left, _right = sides
+    left_set = set(left)
+    match: Dict[int, Optional[int]] = {v: None for v in g.nodes()}
+
+    def bfs_layers() -> Optional[Dict[int, int]]:
+        layer = {}
+        queue = deque()
+        for u in left:
+            if match[u] is None:
+                layer[u] = 0
+                queue.append(u)
+        found = False
+        while queue:
+            u = queue.popleft()
+            for v in g.neighbors(u):
+                w = match[v]
+                if w is None:
+                    found = True
+                elif w not in layer:
+                    layer[w] = layer[u] + 1
+                    queue.append(w)
+        return layer if found else None
+
+    def try_augment(u: int, layer: Dict[int, int], visited: Set[int]) -> bool:
+        for v in g.neighbors(u):
+            if v in visited:
+                continue
+            visited.add(v)
+            w = match[v]
+            if w is None or (layer.get(w) == layer[u] + 1
+                             and try_augment(w, layer, visited)):
+                match[u] = v
+                match[v] = u
+                return True
+        return False
+
+    while True:
+        layer = bfs_layers()
+        if layer is None:
+            break
+        visited: Set[int] = set()
+        for u in left:
+            if match[u] is None:
+                try_augment(u, layer, visited)
+    return {(min(u, match[u]), max(u, match[u]))
+            for u in left_set if match[u] is not None}
+
+
+def maximum_matching_size(g: Graph) -> int:
+    """Size of a maximum matching in a bipartite graph."""
+    return len(hopcroft_karp(g))
+
+
+def is_matching(g: Graph, edges: Set[Tuple[int, int]]) -> bool:
+    """True iff ``edges`` is a valid matching in ``g``."""
+    used: Set[int] = set()
+    for u, v in edges:
+        if v not in g.neighbors(u):
+            return False
+        if u in used or v in used:
+            return False
+        used.add(u)
+        used.add(v)
+    return True
+
+
+def is_maximal_matching(g: Graph, edges: Set[Tuple[int, int]]) -> bool:
+    """True iff ``edges`` is a matching with no extendable free edge."""
+    if not is_matching(g, edges):
+        return False
+    used: Set[int] = set()
+    for u, v in edges:
+        used.add(u)
+        used.add(v)
+    for u, v in g.edges():
+        if u not in used and v not in used:
+            return False
+    return True

@@ -1,0 +1,35 @@
+"""The CONGEST / BCONGEST model simulator (§1.1 of the paper)."""
+
+from repro.congest.errors import (
+    AlgorithmError,
+    BroadcastOnly,
+    CongestError,
+    DuplicateSend,
+    MessageTooLarge,
+    ModelViolation,
+    NotANeighbor,
+)
+from repro.congest.composer import ComposedExecution, compose_machines
+from repro.congest.tracing import TraceEvent, Tracer, format_trace
+from repro.congest.machine import LocalRunner, Machine, MachineAdapter, run_machines
+from repro.congest.metrics import Metrics, undirected
+from repro.congest.network import (
+    Algorithm,
+    Execution,
+    Network,
+    NodeAPI,
+    NodeInfo,
+    make_node_info,
+    node_seed,
+    payload_words,
+    run_algorithm,
+)
+
+__all__ = [
+    "Algorithm", "ComposedExecution", "TraceEvent", "Tracer", "compose_machines", "format_trace", "AlgorithmError", "BroadcastOnly", "CongestError",
+    "DuplicateSend", "Execution", "LocalRunner", "Machine",
+    "MachineAdapter", "MessageTooLarge", "Metrics", "ModelViolation",
+    "Network", "NodeAPI", "NodeInfo", "NotANeighbor", "make_node_info",
+    "node_seed", "payload_words", "run_algorithm", "run_machines",
+    "undirected",
+]

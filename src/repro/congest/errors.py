@@ -1,0 +1,42 @@
+"""Exceptions raised by the CONGEST simulator.
+
+The simulator enforces the CONGEST model's constraints at runtime: one
+message per edge per direction per round, bounded message size, sends only
+to actual neighbors.  Violations are programming errors in an algorithm
+implementation, so they raise immediately rather than being silently
+dropped.
+"""
+
+
+class CongestError(Exception):
+    """Base class for all simulator errors."""
+
+
+class ModelViolation(CongestError):
+    """An algorithm violated a constraint of the CONGEST model."""
+
+
+class MessageTooLarge(ModelViolation):
+    """A message exceeded the per-round O(log n)-bit budget.
+
+    The simulator measures message size in *words*, where one word is
+    O(log n) bits (enough for one node ID or one distance value).  A
+    CONGEST message may carry a small constant number of words; the
+    permitted constant is configurable on the network.
+    """
+
+
+class DuplicateSend(ModelViolation):
+    """A node sent two messages over the same edge in one round."""
+
+
+class NotANeighbor(ModelViolation):
+    """A node attempted to send to a non-adjacent node."""
+
+
+class BroadcastOnly(ModelViolation):
+    """A BCONGEST node attempted a point-to-point send."""
+
+
+class AlgorithmError(CongestError):
+    """An algorithm reached an internally inconsistent state."""

@@ -1,0 +1,207 @@
+"""BCONGEST algorithms as per-node state machines.
+
+Both of the paper's simulation frameworks (Theorem 2.1 and Theorems
+3.9/3.10) need to *re-execute* a BCONGEST algorithm somewhere other than
+on the real network: in Theorem 2.1 each cluster center locally steps the
+state machines of all its cluster members; in Section 3 each node steps
+its own machine on an *aggregated* inbox.  Both are legal because local
+computation is free in the model.
+
+To make this possible, every simulated algorithm in this library is a
+:class:`Machine`: a deterministic object (its PRNG stream is fixed by the
+node seed) that consumes ``(round, inbox)`` and emits at most one
+broadcast payload per round.  A machine can therefore be
+
+* run **directly** on a :class:`~repro.congest.network.Network` through
+  :class:`MachineAdapter` -- this measures its true BCONGEST round,
+  message, and broadcast complexity; or
+* stepped **locally** by a simulation driver, with the driver responsible
+  for delivering exactly the messages the real execution would deliver.
+
+The equivalence of the two modes is the correctness property of the
+paper's simulations (Lemma 2.5 / Lemma 3.14) and is checked in tests.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.congest.network import (
+    Algorithm,
+    Execution,
+    Inbox,
+    NodeAPI,
+    NodeInfo,
+    make_node_info,
+    run_algorithm,
+)
+from typing import TYPE_CHECKING
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.graphs.graph import Graph
+
+Broadcast = Optional[Any]
+MachineFactory = Callable[[NodeInfo], "Machine"]
+
+
+class Machine:
+    """A per-node BCONGEST state machine.
+
+    Lifecycle: the machine is constructed from a :class:`NodeInfo`; then
+    :meth:`on_round` is called for rounds 1, 2, ... in order, with the
+    inbox of messages broadcast by neighbors in the previous round.  The
+    return value, if not ``None``, is broadcast to all neighbors this
+    round.
+
+    ``halted`` means the machine will never broadcast again and its
+    ``output`` is final.  ``passive()`` means the machine does not need
+    to be woken until a message arrives (it is still willing to react).
+    A machine must be driven in lockstep unless it is passive.
+    """
+
+    def __init__(self, info: NodeInfo):
+        self.info = info
+        self.rng = random.Random(info.seed)
+        self.halted = False
+        self._output: Any = None
+
+    # -- to implement ---------------------------------------------------
+    def on_round(self, rnd: int, inbox: Inbox) -> Broadcast:
+        raise NotImplementedError
+
+    # -- scheduling hints -----------------------------------------------
+    def passive(self) -> bool:
+        """True if the machine only needs to run when it has messages."""
+        return self.halted
+
+    def wake_round(self) -> Optional[int]:
+        """Earliest future round this machine wants to act regardless of
+        messages (e.g. a random start delay); None if message-driven."""
+        return None
+
+    # -- results ----------------------------------------------------------
+    def output(self) -> Any:
+        return self._output
+
+    def set_output(self, value: Any) -> None:
+        self._output = value
+
+
+class MachineAdapter(Algorithm):
+    """Runs a :class:`Machine` as a node algorithm on a real network.
+
+    The adapter keeps the machine in lockstep: while the machine is not
+    passive it is woken every round; a passive machine is woken only by
+    incoming messages or by its declared ``wake_round``.
+    """
+
+    def __init__(self, info: NodeInfo, machine: Machine):
+        super().__init__(info)
+        self.machine = machine
+        self._last_round_run = 0
+
+    def on_round(self, api: NodeAPI, rnd: int, inbox: Inbox) -> None:
+        machine = self.machine
+        if machine.halted:
+            api.halt(machine.output())
+            return
+        payload = machine.on_round(rnd, inbox)
+        self._last_round_run = rnd
+        if payload is not None:
+            api.broadcast(payload)
+        api.set_output(machine.output())
+        if machine.halted:
+            api.halt(machine.output())
+            return
+        if not machine.passive():
+            api.wake_at(rnd + 1)
+        else:
+            wake = machine.wake_round()
+            if wake is not None and wake > rnd:
+                api.wake_at(wake)
+
+
+def run_machines(graph: "Graph", factory: MachineFactory, *,
+                 inputs: Optional[Dict[int, Any]] = None,
+                 word_limit: int = 8, seed: int = 0,
+                 check_sizes: bool = True, tracer=None,
+                 max_rounds: int = 5_000_000) -> Execution:
+    """Execute a BCONGEST machine collection directly on the network.
+
+    This is the reference execution: its metrics give the algorithm's
+    true round complexity T_A, broadcast complexity B_A, and message
+    complexity (each broadcast costs deg(v) messages).
+    """
+    machines: Dict[int, Machine] = {}
+
+    def make(info: NodeInfo) -> Algorithm:
+        machine = factory(info)
+        machines[info.id] = machine
+        return MachineAdapter(info, machine)
+
+    execution = run_algorithm(
+        graph, make, inputs=inputs, word_limit=word_limit, bcast_only=True,
+        seed=seed, check_sizes=check_sizes, tracer=tracer,
+        max_rounds=max_rounds)
+    # Surface machine outputs even for machines that never halted
+    # (e.g. depth-limited BFS at unreachable nodes).
+    for v, machine in machines.items():
+        if execution.outputs[v] is None:
+            execution.outputs[v] = machine.output()
+    return execution
+
+
+class LocalRunner:
+    """Steps a full collection of machines *locally* (no network).
+
+    Used as an oracle in tests: the paper's simulations must produce the
+    same outputs as this direct lockstep execution (Lemmas 2.5 / 3.14).
+    Also used by drivers to pre-compute a machine collection's round
+    complexity upper bound T_A where the paper assumes it known.
+    """
+
+    def __init__(self, graph: "Graph", factory: MachineFactory, *,
+                 inputs: Optional[Dict[int, Any]] = None,
+                 known_n: bool = True, seed: int = 0):
+        self.graph = graph
+        self.machines: Dict[int, Machine] = {}
+        for v in graph.nodes():
+            info = make_node_info(graph, v, inputs=inputs,
+                                  known_n=known_n, seed=seed)
+            self.machines[v] = factory(info)
+        self.round = 0
+        self.broadcasts = 0
+
+    def run(self, max_rounds: int = 1_000_000) -> Dict[int, Any]:
+        """Run to global quiescence; return outputs."""
+        pending: Dict[int, List[Tuple[int, Any]]] = {}
+        while True:
+            self.round += 1
+            if self.round > max_rounds:
+                raise RuntimeError("LocalRunner exceeded max_rounds")
+            inboxes, pending = pending, {}
+            for v, machine in self.machines.items():
+                if machine.halted:
+                    continue
+                inbox = inboxes.get(v, [])
+                if (inbox or not machine.passive()
+                        or machine.wake_round() == self.round):
+                    payload = machine.on_round(self.round, inbox)
+                    if payload is not None:
+                        self.broadcasts += 1
+                        for u in self.graph.neighbors(v):
+                            pending.setdefault(u, []).append((v, payload))
+            if pending:
+                continue
+            if any(not m.halted and not m.passive()
+                   for m in self.machines.values()):
+                continue
+            # Everyone is passive and nothing is in flight: jump to the
+            # next scheduled wake-up, or finish if there is none.
+            future = [m.wake_round() for m in self.machines.values()
+                      if not m.halted and m.wake_round() is not None
+                      and m.wake_round() > self.round]
+            if not future:
+                break
+            self.round = min(future) - 1
+        return {v: m.output() for v, m in self.machines.items()}

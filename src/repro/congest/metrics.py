@@ -1,0 +1,126 @@
+"""Metering of rounds, messages, broadcasts, and per-edge congestion.
+
+Every quantity the paper reasons about is counted here:
+
+* ``rounds`` -- the number of synchronous rounds consumed (§1.1.1).
+* ``messages`` -- total messages sent by all nodes over the execution.
+* ``broadcasts`` -- broadcast complexity of a BCONGEST execution: the
+  number of broadcast *operations*, each of which costs deg(v) messages
+  but counts once here (§1.1.2).
+* ``edge_congestion`` -- per-undirected-edge message counts, the quantity
+  bounded by the congestion + dilation framework (§1.4.1) and by the
+  congestion-smoothing lemma (Lemma 3.8).
+
+Metrics objects are plain accumulators; they can be snapshotted, diffed,
+and merged so that a driver can attribute costs to phases (preprocessing
+vs. simulation, send vs. receive steps, and so on).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Tuple
+
+Edge = Tuple[Hashable, Hashable]
+
+
+def undirected(u: Hashable, v: Hashable) -> Edge:
+    """Canonical key for the undirected edge {u, v}."""
+    return (u, v) if repr(u) <= repr(v) else (v, u)
+
+
+@dataclass
+class Metrics:
+    """Accumulated costs of a (partial) CONGEST execution."""
+
+    rounds: int = 0
+    messages: int = 0
+    broadcasts: int = 0
+    words: int = 0
+    max_message_words: int = 0
+    edge_congestion: Counter = field(default_factory=Counter)
+
+    def record_send(self, u: Hashable, v: Hashable, size_words: int) -> None:
+        """Record one message of ``size_words`` words on edge (u, v)."""
+        self.messages += 1
+        self.words += size_words
+        self.max_message_words = max(self.max_message_words, size_words)
+        self.edge_congestion[undirected(u, v)] += 1
+
+    def record_broadcast(self) -> None:
+        """Record one broadcast operation (message costs counted separately)."""
+        self.broadcasts += 1
+
+    @property
+    def max_edge_congestion(self) -> int:
+        """Maximum number of messages carried by any single edge."""
+        if not self.edge_congestion:
+            return 0
+        return max(self.edge_congestion.values())
+
+    def congestion_over(self, edges) -> int:
+        """Maximum congestion restricted to the given edge set."""
+        best = 0
+        for u, v in edges:
+            best = max(best, self.edge_congestion[undirected(u, v)])
+        return best
+
+    def snapshot(self) -> "Metrics":
+        """A deep copy, for computing per-phase deltas."""
+        out = Metrics(
+            rounds=self.rounds,
+            messages=self.messages,
+            broadcasts=self.broadcasts,
+            words=self.words,
+            max_message_words=self.max_message_words,
+        )
+        out.edge_congestion = Counter(self.edge_congestion)
+        return out
+
+    def delta_since(self, earlier: "Metrics") -> "Metrics":
+        """Costs accumulated since ``earlier`` was snapshotted."""
+        out = Metrics(
+            rounds=self.rounds - earlier.rounds,
+            messages=self.messages - earlier.messages,
+            broadcasts=self.broadcasts - earlier.broadcasts,
+            words=self.words - earlier.words,
+            max_message_words=self.max_message_words,
+        )
+        out.edge_congestion = self.edge_congestion - earlier.edge_congestion
+        return out
+
+    def merge(self, other: "Metrics", *, parallel: bool = False) -> None:
+        """Fold ``other`` into this accumulator.
+
+        With ``parallel=True`` round counts are combined with ``max``
+        (phases that run concurrently), otherwise they add (sequential
+        composition).
+        """
+        if parallel:
+            self.rounds = max(self.rounds, other.rounds)
+        else:
+            self.rounds += other.rounds
+        self.messages += other.messages
+        self.broadcasts += other.broadcasts
+        self.words += other.words
+        self.max_message_words = max(self.max_message_words,
+                                     other.max_message_words)
+        self.edge_congestion.update(other.edge_congestion)
+
+    def as_dict(self) -> Dict[str, int]:
+        """Summary suitable for experiment tables (drops per-edge detail)."""
+        return {
+            "rounds": self.rounds,
+            "messages": self.messages,
+            "broadcasts": self.broadcasts,
+            "words": self.words,
+            "max_edge_congestion": self.max_edge_congestion,
+        }
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        d = self.as_dict()
+        return (
+            "Metrics(rounds={rounds}, messages={messages}, "
+            "broadcasts={broadcasts}, max_congestion={max_edge_congestion})".format(**d)
+        )

@@ -1,0 +1,117 @@
+"""The congestion + dilation framework (§1.4.1, Theorems 1.3 / 1.4).
+
+Random-delay scheduling: to run ell algorithms together, start algorithm
+A_j after a uniform delay from [1, ell].  Leighton-Maggs-Rao [26] and
+Ghaffari [17] show the composition completes in Õ(congestion + dilation)
+rounds; for collections of standard BFS algorithms the paper adds
+property (ii): every node receives messages from at most O(log n)
+distinct BFS algorithms per round (Theorem 1.4), which is what makes the
+combined machine's messages fit in Õ(1) words and the collection
+aggregation-based.
+
+This module provides
+
+* :func:`random_delays` -- the shared random delay assignment (the
+  shared randomness itself is disseminated and metered by the drivers,
+  see §3.3 and :func:`repro.primitives.global_tree.disseminate`);
+* :func:`ghaffari_schedule_bound` -- the Theorem 1.3 round bound
+  O(congestion + dilation * log n) evaluated on measured quantities,
+  used when batch simulations are executed sequentially but accounted
+  as a concurrent schedule (see :mod:`repro.core.bfs_collections`);
+* :func:`measure_bfs_schedule` -- executes a delayed BFS collection and
+  reports the Theorem 1.4 quantities: completion round vs. ell +
+  dilation, and the maximum number of distinct BFS ids any node hears
+  in one round.  Benchmark E4 regenerates the theorem from this.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.congest.machine import run_machines
+from repro.graphs.graph import Graph
+from repro.primitives.bfs import BFSCollectionMachine
+
+
+def random_delays(ids: List[int], spread: int, seed: int = 0) -> Dict[int, int]:
+    """Uniform delays from [1, spread], one per algorithm id."""
+    from repro.congest.network import stable_seed
+    rng = random.Random(stable_seed("sched-delays", seed))
+    return {j: rng.randint(1, max(1, spread)) for j in ids}
+
+
+def ghaffari_schedule_bound(congestion: int, dilation: int, n: int) -> int:
+    """Theorem 1.3: O(congestion + dilation * log n) completion rounds."""
+    log_n = max(1, int(math.ceil(math.log2(max(n, 2)))))
+    return congestion + dilation * log_n
+
+
+@dataclass
+class ScheduleMeasurement:
+    """Theorem 1.4's quantities as measured on a real execution."""
+
+    ell: int
+    dilation: int
+    completion_round: int
+    max_distinct_bfs_per_node_round: int
+    max_message_words: int
+    messages: int
+    max_edge_congestion: int
+
+    @property
+    def bound_rounds(self) -> int:
+        """The Õ(ell + dilation) reference scale of Theorem 1.4(i)."""
+        return self.ell + self.dilation
+
+    def distinct_ids_log_ratio(self, n: int) -> float:
+        """Measured distinct-ids max over log2 n (Theorem 1.4(ii))."""
+        return self.max_distinct_bfs_per_node_round / max(
+            1.0, math.log2(max(n, 2)))
+
+
+def measure_bfs_schedule(graph: Graph, roots: Optional[List[int]] = None, *,
+                         seed: int = 0,
+                         max_depth: Optional[int] = None,
+                         ) -> ScheduleMeasurement:
+    """Run ell delayed BFS algorithms together and measure Theorem 1.4.
+
+    ``dilation`` is the maximum eccentricity-limited running time of any
+    single BFS (bounded by the depth cap when one is given).
+    """
+    root_list = list(graph.nodes()) if roots is None else list(roots)
+    ell = len(root_list)
+    delays = random_delays(root_list, ell, seed)
+    root_map = {j: j for j in root_list}
+    budget = max(32, 12 * max(1, int(math.log2(max(graph.n, 2)))) ** 2)
+    execution = run_machines(
+        graph,
+        lambda info: BFSCollectionMachine(info, roots=root_map,
+                                          delays=delays,
+                                          max_depth=max_depth),
+        word_limit=budget, seed=seed)
+    max_ids = 0
+    for adapter in execution.algorithms.values():
+        max_ids = max(max_ids, adapter.machine.max_inbox_ids)
+    # Dilation: each BFS alone runs for its root's (capped) eccentricity.
+    dilation = 0
+    for j in root_list:
+        depths = [execution.outputs[v][j][0]
+                  for v in graph.nodes()
+                  if execution.outputs[v] and j in execution.outputs[v]]
+        if depths:
+            dilation = max(dilation, max(depths))
+    if max_depth is not None:
+        dilation = min(dilation, max_depth)
+
+    return ScheduleMeasurement(
+        ell=ell,
+        dilation=dilation,
+        completion_round=execution.rounds,
+        max_distinct_bfs_per_node_round=max_ids,
+        max_message_words=execution.metrics.max_message_words,
+        messages=execution.metrics.messages,
+        max_edge_congestion=execution.metrics.max_edge_congestion,
+    )

@@ -1,0 +1,94 @@
+"""Execution tracing: round-by-round event logs for debugging algorithms.
+
+Attach a :class:`Tracer` to a :class:`~repro.congest.network.Network`
+(or pass ``tracer=`` to the run helpers) to record every send, halt,
+and activation.  Traces are the intended way to debug a misbehaving
+machine: render them with :func:`format_trace` to see exactly which
+messages crossed which edges in which round.
+
+Tracing is strictly opt-in and adds no overhead when absent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+
+@dataclass
+class TraceEvent:
+    round: int
+    kind: str          # "send" | "halt" | "wake"
+    node: int
+    peer: Optional[int] = None
+    payload: Any = None
+
+
+@dataclass
+class Tracer:
+    """Collects :class:`TraceEvent` records during an execution.
+
+    Parameters
+    ----------
+    max_events:
+        Hard cap; recording stops (silently) beyond it so that tracing
+        a long run cannot exhaust memory.
+    node_filter:
+        Optional predicate on node ids; events involving only filtered-
+        out nodes are dropped.
+    """
+
+    max_events: int = 100_000
+    node_filter: Optional[Callable[[int], bool]] = None
+    events: List[TraceEvent] = field(default_factory=list)
+
+    def _want(self, *nodes: Optional[int]) -> bool:
+        if len(self.events) >= self.max_events:
+            return False
+        if self.node_filter is None:
+            return True
+        return any(n is not None and self.node_filter(n) for n in nodes)
+
+    def record_send(self, rnd: int, src: int, dst: int,
+                    payload: Any) -> None:
+        if self._want(src, dst):
+            self.events.append(TraceEvent(round=rnd, kind="send", node=src,
+                                          peer=dst, payload=payload))
+
+    def record_halt(self, rnd: int, node: int, output: Any) -> None:
+        if self._want(node):
+            self.events.append(TraceEvent(round=rnd, kind="halt",
+                                          node=node, payload=output))
+
+    def sends(self) -> List[TraceEvent]:
+        return [e for e in self.events if e.kind == "send"]
+
+    def rounds(self) -> Dict[int, List[TraceEvent]]:
+        out: Dict[int, List[TraceEvent]] = {}
+        for event in self.events:
+            out.setdefault(event.round, []).append(event)
+        return out
+
+    def messages_between(self, u: int, v: int) -> List[TraceEvent]:
+        return [e for e in self.sends()
+                if {e.node, e.peer} == {u, v}]
+
+
+def format_trace(tracer: Tracer, *, limit: int = 200) -> str:
+    """Human-readable rendering, grouped by round."""
+    lines: List[str] = []
+    count = 0
+    for rnd, events in sorted(tracer.rounds().items()):
+        lines.append(f"round {rnd}:")
+        for event in events:
+            if count >= limit:
+                lines.append(f"  ... ({len(tracer.events) - count} more)")
+                return "\n".join(lines)
+            count += 1
+            if event.kind == "send":
+                lines.append(f"  {event.node} -> {event.peer}: "
+                             f"{event.payload!r}")
+            elif event.kind == "halt":
+                lines.append(f"  {event.node} halts "
+                             f"(output={event.payload!r})")
+    return "\n".join(lines)

@@ -1,0 +1,35 @@
+"""The paper's contributions: both simulation frameworks and the
+APSP / matching / cover applications built on them."""
+
+from repro.core.aggregation import check_idempotent, component_batches, get_aggregator
+from repro.core.bcongest_sim import SimulationReport, simulate_bcongest
+from repro.core.bfs_collections import (
+    BFSTreesResult,
+    depth_cap,
+    n_bfs_trees_batched,
+    n_bfs_trees_star,
+)
+from repro.core.cover_app import neighborhood_cover, neighborhood_cover_direct
+from repro.core.matching_app import (
+    MatchingResult,
+    maximum_matching,
+    maximum_matching_direct,
+)
+from repro.core.tradeoff_apsp import TradeoffAPSPResult, apsp_tradeoff
+from repro.core.tradeoff_sim import TradeoffReport, simulate_aggregation
+from repro.core.tradeoff_sim_star import simulate_aggregation_star
+from repro.core.weighted_apsp import (
+    APSPResult,
+    weighted_apsp,
+    weighted_apsp_tradeoff,
+)
+
+__all__ = [
+    "APSPResult", "BFSTreesResult", "MatchingResult", "SimulationReport",
+    "TradeoffAPSPResult", "TradeoffReport", "apsp_tradeoff",
+    "check_idempotent", "component_batches", "depth_cap", "get_aggregator",
+    "maximum_matching", "maximum_matching_direct", "n_bfs_trees_batched",
+    "n_bfs_trees_star", "neighborhood_cover", "neighborhood_cover_direct",
+    "simulate_aggregation", "simulate_aggregation_star", "simulate_bcongest",
+    "weighted_apsp", "weighted_apsp_tradeoff",
+]

@@ -1,0 +1,68 @@
+"""Aggregation-based and ell-decomposable algorithms (Definitions 3.1/3.2).
+
+The Section 3 simulations do not deliver every message: they deliver
+*aggregate packets*, each Õ(1) bits, such that applying the node's
+round function to the union of packet contents equals applying it to the
+full message set.  A machine opts in by exposing an ``aggregate``
+callable with the signature
+
+    aggregate(messages: list[(origin, payload)]) -> list[(origin, payload)]
+
+returning an equivalent message list of Õ(1) total size.  Because the
+routing may cover the message set by *overlapping* (not partitioning)
+subsets -- the paper notes the delivered packets are "not necessarily
+unique" (proof of Lemma 3.14) -- the aggregation must be idempotent
+(min/max-like), which all the collections used here (BFS, Bellman-Ford)
+are.
+
+An ell-decomposable algorithm (Definition 3.2) is just a collection of
+independent components; :func:`component_batches` assigns them to the
+hierarchies of an ensemble for congestion smoothing (Lemma 3.8).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Sequence, Tuple
+
+Message = Tuple[int, Any]
+AggregateFn = Callable[[List[Message]], List[Message]]
+
+
+def get_aggregator(machine_or_factory: Any) -> AggregateFn:
+    """Fetch the Definition 3.1 aggregation function of a machine type."""
+    agg = getattr(machine_or_factory, "aggregate", None)
+    if agg is None:
+        raise TypeError(
+            f"{machine_or_factory!r} is not aggregation-based: it has no "
+            "'aggregate' attribute (Definition 3.1)")
+    return agg
+
+
+def check_idempotent(agg: AggregateFn, messages: List[Message]) -> bool:
+    """Sanity predicate used by property tests: aggregating overlapping
+    covers must equal aggregating the whole set."""
+    whole = agg(list(messages))
+    if len(messages) < 2:
+        return True
+    mid = len(messages) // 2
+    left = agg(messages[:mid + 1])      # overlapping cover on purpose
+    right = agg(messages[mid:])
+    recombined = agg(left + right)
+    return _canon(recombined) == _canon(whole)
+
+
+def _canon(messages: List[Message]) -> Any:
+    out = []
+    for origin, payload in messages:
+        if isinstance(payload, dict):
+            payload = tuple(sorted(payload.items()))
+        out.append((origin, payload))
+    return sorted(out, key=repr)
+
+
+def component_batches(components: Sequence[int], zeta: int) -> List[List[int]]:
+    """Definition 3.2 components -> zeta equal batches (Lemma 3.8)."""
+    batches: List[List[int]] = [[] for _ in range(max(1, zeta))]
+    for idx, comp in enumerate(components):
+        batches[idx % len(batches)].append(comp)
+    return batches

@@ -1,0 +1,179 @@
+"""Lemmas 3.22 / 3.23: computing n BFS trees under the trade-off simulations.
+
+Lemma 3.22 (eps in [1/2, 1]): combine the n BFS algorithms into one
+aggregation-based machine via shared random delays (Theorem 1.4),
+disseminate the delays through the leader's tree (the shared-randomness
+implementation of §3.3), and run the Theorem 3.10 star simulation over a
+single pruned hierarchy.
+
+Lemma 3.23 (eps in (0, 1/2]): partition the n BFS computations into
+b = ceil(n^eps) batches of ~n^{1-eps}, cap their depth at Õ(n^{1-eps}),
+give each batch its own independently-built pruned hierarchy (the
+ensemble of Lemma 3.8), and run each batch through the Theorem 3.9
+general simulation.
+
+On composition: the paper runs the b batch simulations concurrently and
+invokes Theorem 1.3 (random-delay scheduling) to bound the combined
+round count by Õ(congestion + dilation).  This driver executes the batch
+simulations sequentially -- which leaves outputs, message counts, and
+per-edge congestion *identical* to the concurrent run -- and reports the
+Theorem 1.3 round bound computed from the measured congestion and
+dilation (``rounds_scheduled``) alongside the raw sequential round sum
+(``rounds_sequential``).  Benchmark E3 reports both; E6 validates the
+congestion-smoothing input to the formula empirically.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.congest.metrics import Metrics
+from repro.core.aggregation import component_batches
+from repro.core.tradeoff_sim import TradeoffReport, simulate_aggregation
+from repro.core.tradeoff_sim_star import simulate_aggregation_star
+from repro.decomposition.ensemble import build_ensemble
+from repro.decomposition.pruning import build_pruned_hierarchy
+from repro.graphs.graph import Graph
+from repro.primitives.bfs import BFSCollectionMachine
+from repro.primitives.global_tree import build_global_tree, disseminate
+
+
+@dataclass
+class BFSTreesResult:
+    """Per-node ``{root: (dist, parent)}`` plus the cost breakdown."""
+
+    trees: Dict[int, Dict[int, Tuple[int, Optional[int]]]]
+    metrics: Metrics
+    detail: Dict[str, float] = field(default_factory=dict)
+    reports: List[TradeoffReport] = field(default_factory=list)
+
+
+def shared_delays(ids: List[int], spread: int, seed: int) -> Dict[int, int]:
+    from repro.congest.network import stable_seed
+    rng = random.Random(stable_seed("bfs-delays", seed))
+    return {j: rng.randint(1, max(1, spread)) for j in ids}
+
+
+def _message_budget(n: int) -> int:
+    # Theorem 1.4(ii): O(log n) distinct BFS ids per node-round, three
+    # words per id record; generous constant, verified by benchmark E4.
+    return max(32, 12 * max(1, int(math.log2(max(n, 2)))) ** 2)
+
+
+def n_bfs_trees_star(graph: Graph, eps: float, *, seed: int = 0,
+                     roots: Optional[List[int]] = None) -> BFSTreesResult:
+    """Lemma 3.22: n full BFS trees, eps in [1/2, 1]."""
+    if not 0.5 <= eps <= 1:
+        raise ValueError("Lemma 3.22 requires eps in [1/2, 1]")
+    n = graph.n
+    total = Metrics()
+    tree = build_global_tree(graph, seed=seed)
+    total.merge(tree.metrics)
+    root_list = list(graph.nodes()) if roots is None else list(roots)
+    delays = shared_delays(root_list, len(root_list), seed)
+    _received, m = disseminate(
+        graph, tree, [(j, delays[j]) for j in sorted(delays)], seed=seed)
+    total.merge(m)
+
+    hierarchy = build_pruned_hierarchy(graph, eps, seed=seed + 13)
+    total.merge(hierarchy.metrics)
+
+    root_map = {j: j for j in root_list}
+
+    def factory(info):
+        return BFSCollectionMachine(info, roots=root_map, delays=delays)
+
+    report = simulate_aggregation_star(
+        graph, hierarchy, factory,
+        aggregate=BFSCollectionMachine.aggregate,
+        seed=seed, message_words=_message_budget(n),
+        include_tree_preprocessing=False)
+    total.merge(report.total)
+    trees = {v: dict(report.outputs[v] or {}) for v in graph.nodes()}
+    return BFSTreesResult(
+        trees=trees, metrics=total,
+        detail={
+            "mode": 1.0,  # star
+            "phases": report.phases,
+            "cluster_congestion": report.cluster_edge_congestion,
+            "non_cluster_congestion": report.non_cluster_edge_congestion,
+        },
+        reports=[report])
+
+
+def depth_cap(n: int, eps: float) -> int:
+    """The Õ(n^{1-eps}) BFS depth cap of Lemma 3.23."""
+    return max(2, int(math.ceil(max(n, 2) ** (1.0 - eps))))
+
+
+def n_bfs_trees_batched(graph: Graph, eps: float, *, seed: int = 0,
+                        cap: Optional[int] = None) -> BFSTreesResult:
+    """Lemma 3.23: n depth-capped BFS trees, eps in (0, 1/2]."""
+    if not 0 < eps <= 0.5:
+        raise ValueError("Lemma 3.23 requires eps in (0, 1/2]")
+    n = graph.n
+    if cap is None:
+        cap = depth_cap(n, eps)
+    b = max(1, int(math.ceil(n ** eps)))
+    total = Metrics()
+    tree = build_global_tree(graph, seed=seed)
+    total.merge(tree.metrics)
+
+    batches = component_batches(list(graph.nodes()), b)
+    ensemble = build_ensemble(graph, eps, len(batches), seed=seed + 29)
+    for h in ensemble:
+        total.merge(h.metrics)
+
+    trees: Dict[int, Dict[int, Tuple[int, Optional[int]]]] = {
+        v: {} for v in graph.nodes()}
+    reports: List[TradeoffReport] = []
+    combined_sim = Metrics()
+    max_dilation_rounds = 0
+    for idx, batch in enumerate(batches):
+        if not batch:
+            continue
+        delays = shared_delays(batch, len(batch), seed + idx)
+        _received, m = disseminate(
+            graph, tree, [(j, delays[j]) for j in sorted(delays)],
+            seed=seed + idx)
+        total.merge(m)
+        root_map = {j: j for j in batch}
+
+        def factory(info, _roots=root_map, _delays=delays):
+            return BFSCollectionMachine(info, roots=_roots, delays=_delays,
+                                        max_depth=cap)
+
+        report = simulate_aggregation(
+            graph, ensemble[idx], factory,
+            aggregate=BFSCollectionMachine.aggregate,
+            seed=seed, message_words=_message_budget(n),
+            include_tree_preprocessing=False)
+        reports.append(report)
+        total.merge(report.total)
+        combined_sim.merge(report.simulation, parallel=True)
+        max_dilation_rounds = max(max_dilation_rounds,
+                                  report.simulation.rounds)
+        for v in graph.nodes():
+            out = report.outputs[v] or {}
+            trees[v].update(out)
+
+    # Theorem 1.3 composition bound on the concurrent schedule: the
+    # sequential execution above has identical messages/congestion.
+    log_n = max(1, int(math.ceil(math.log2(max(n, 2)))))
+    congestion = combined_sim.max_edge_congestion
+    rounds_scheduled = congestion + max_dilation_rounds * log_n
+    return BFSTreesResult(
+        trees=trees, metrics=total,
+        detail={
+            "mode": 0.0,  # batched / general
+            "batches": len(batches),
+            "cap": cap,
+            "rounds_sequential": total.rounds,
+            "rounds_scheduled": rounds_scheduled,
+            "combined_congestion": congestion,
+            "max_batch_dilation": max_dilation_rounds,
+        },
+        reports=reports)

@@ -1,0 +1,216 @@
+"""Theorem 1.2: the unweighted-APSP message-time trade-off.
+
+For eps in [0, 1], unweighted APSP in Õ(n^{2-eps}) rounds and
+Õ(n^{2+eps}) messages:
+
+* eps ~ 0 (below 1/log n): the message-optimal end -- Theorem 2.1
+  simulation of the n-BFS collection (a special case of Theorem 1.1
+  restricted to unit weights), Õ(n²) messages and rounds.
+* eps in (1/log n, 1/2]: Lemma 3.23 computes all pairwise distances up
+  to Õ(n^{1-eps}) hops via batched depth-capped BFS over an ensemble of
+  pruned hierarchies; distances beyond the cap are completed with
+  *landmarks* -- Θ(n^eps log n) sampled nodes run full BFS directly (no
+  simulation), upcast their tree edges to the landmark, and the trees
+  are broadcast to everyone through the leader's tree, after which
+  every node closes far pairs through min_l (depth_l(u) + depth_l(v)).
+  W.h.p. every shortest path longer than the cap contains a landmark,
+  making the completion exact.
+* eps in [1/2, 1]: Lemma 3.22 computes all n full BFS trees through the
+  star simulation; depths give all distances directly.
+
+Benchmark E3 sweeps eps and regenerates the trade-off curve (messages
+up, rounds down as eps grows); E12 ablates the landmark density.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.congest.metrics import Metrics
+from repro.core.bcongest_sim import simulate_bcongest
+from repro.core.bfs_collections import (
+    BFSTreesResult,
+    depth_cap,
+    n_bfs_trees_batched,
+    n_bfs_trees_star,
+    shared_delays,
+)
+from repro.congest.machine import run_machines
+from repro.graphs.graph import Graph
+from repro.primitives.bfs import BFSCollectionMachine
+from repro.primitives.global_tree import build_global_tree, disseminate
+from repro.primitives.transport import Packet, route_packets
+
+INF = float("inf")
+
+
+@dataclass
+class TradeoffAPSPResult:
+    """Distance matrix plus the regime used and full cost accounting."""
+
+    dist: List[List[float]]
+    metrics: Metrics
+    regime: str
+    detail: Dict[str, float] = field(default_factory=dict)
+
+
+def sample_landmarks(n: int, eps: float, seed: int, *,
+                     boost: float = 3.0) -> List[int]:
+    """Theta(n^eps log n) landmarks, sampled uniformly."""
+    count = min(n, max(1, int(math.ceil(
+        boost * (n ** eps) * math.log(max(n, 2))))))
+    from repro.congest.network import stable_seed
+    rng = random.Random(stable_seed("landmarks", seed))
+    return sorted(rng.sample(range(n), count))
+
+
+def landmark_completion(graph: Graph, landmarks: List[int], *,
+                        seed: int = 0,
+                        ) -> Tuple[Dict[int, Dict[int, int]], Metrics]:
+    """Run full BFS from every landmark directly in CONGEST, upcast each
+    tree to its landmark, and broadcast all trees to all nodes.
+
+    Returns (depths[l][v], metrics).  The broadcast ships the actual
+    tree edges ((root, child, parent) triples), as the paper describes.
+    """
+    total = Metrics()
+    delays = shared_delays(landmarks, len(landmarks), seed + 101)
+    roots = {j: j for j in landmarks}
+    budget = max(32, 12 * max(1, int(math.log2(max(graph.n, 2)))) ** 2)
+    execution = run_machines(
+        graph,
+        lambda info: BFSCollectionMachine(info, roots=roots, delays=delays),
+        word_limit=budget, seed=seed + 7)
+    total.merge(execution.metrics)
+
+    parents: Dict[int, Dict[int, Optional[int]]] = {j: {} for j in landmarks}
+    depths: Dict[int, Dict[int, int]] = {j: {} for j in landmarks}
+    for v in graph.nodes():
+        out = execution.outputs[v] or {}
+        for j, (d, parent) in out.items():
+            depths[j][v] = d
+            parents[j][v] = parent
+
+    # Upcast each BFS tree's edges to the landmark along the tree.
+    packets: List[Packet] = []
+    for j in landmarks:
+        parent_map = parents[j]
+        for v in graph.nodes():
+            p = parent_map.get(v)
+            if p is None:
+                continue
+            path = [v]
+            while path[-1] != j:
+                path.append(parent_map[path[-1]])
+            packets.append(Packet(path=tuple(path), payload=(j, v, p)))
+    if packets:
+        _d, m = route_packets(graph, packets)
+        total.merge(m)
+
+    # Broadcast every tree to every node through the leader's tree.
+    tree = build_global_tree(graph, seed=seed + 11)
+    total.merge(tree.metrics)
+    stream = [(j, v, parents[j][v]) for j in landmarks
+              for v in graph.nodes() if parents[j].get(v) is not None]
+    if stream:
+        _received, m = disseminate(graph, tree, stream, seed=seed + 11)
+        total.merge(m)
+    return depths, total
+
+
+def apsp_tradeoff(graph: Graph, eps: float, *, seed: int = 0,
+                  landmark_boost: float = 3.0) -> TradeoffAPSPResult:
+    """Solve unweighted APSP at the requested point of the trade-off."""
+    if not 0 <= eps <= 1:
+        raise ValueError("eps must lie in [0, 1]")
+    n = graph.n
+    log_threshold = 1.0 / max(2.0, math.log2(max(n, 2)))
+
+    if eps <= log_threshold:
+        return _apsp_message_optimal(graph, seed=seed)
+    if eps >= 0.5:
+        result = n_bfs_trees_star(graph, eps, seed=seed)
+        dist = _dist_from_trees(graph, result)
+        return TradeoffAPSPResult(dist=dist, metrics=result.metrics,
+                                  regime="star (Lemma 3.22)",
+                                  detail=result.detail)
+    return _apsp_batched_with_landmarks(graph, eps, seed=seed,
+                                        landmark_boost=landmark_boost)
+
+
+def _dist_from_trees(graph: Graph, result: BFSTreesResult,
+                     ) -> List[List[float]]:
+    n = graph.n
+    dist = [[INF] * n for _ in range(n)]
+    for v in graph.nodes():
+        dist[v][v] = 0
+        for j, (d, _p) in result.trees[v].items():
+            dist[j][v] = min(dist[j][v], d)
+            dist[v][j] = min(dist[v][j], d)  # undirected graph
+    return dist
+
+
+def _apsp_message_optimal(graph: Graph, *, seed: int = 0,
+                          ) -> TradeoffAPSPResult:
+    """The eps ~ 0 end: Theorem 2.1 simulation of the n-BFS collection."""
+    n = graph.n
+    total = Metrics()
+    tree = build_global_tree(graph, seed=seed)
+    total.merge(tree.metrics)
+    delays = shared_delays(list(graph.nodes()), n, seed)
+    _received, m = disseminate(
+        graph, tree, [(j, delays[j]) for j in sorted(delays)], seed=seed)
+    total.merge(m)
+    roots = {j: j for j in graph.nodes()}
+    budget = max(32, 12 * max(1, int(math.log2(max(n, 2)))) ** 2)
+
+    def factory(info):
+        return BFSCollectionMachine(info, roots=roots, delays=delays)
+
+    report = simulate_bcongest(graph, factory, seed=seed,
+                               message_words=budget)
+    total.merge(report.total)
+    dist = [[INF] * n for _ in range(n)]
+    for v in graph.nodes():
+        dist[v][v] = 0
+        for j, (d, _p) in (report.outputs[v] or {}).items():
+            dist[j][v] = min(dist[j][v], d)
+            dist[v][j] = min(dist[v][j], d)
+    return TradeoffAPSPResult(
+        dist=dist, metrics=total, regime="message-optimal (Theorem 1.1)",
+        detail={"phases": report.phases,
+                "broadcasts": report.broadcasts_simulated})
+
+
+def _apsp_batched_with_landmarks(graph: Graph, eps: float, *, seed: int,
+                                 landmark_boost: float,
+                                 ) -> TradeoffAPSPResult:
+    """The eps in (1/log n, 1/2] regime: Lemma 3.23 + landmarks."""
+    n = graph.n
+    cap = depth_cap(n, eps)
+    near = n_bfs_trees_batched(graph, eps, seed=seed, cap=cap)
+    total = near.metrics
+    dist = _dist_from_trees(graph, near)
+
+    landmarks = sample_landmarks(n, eps, seed, boost=landmark_boost)
+    depths, m = landmark_completion(graph, landmarks, seed=seed)
+    total.merge(m)
+    for l in landmarks:
+        dl = depths[l]
+        dl[l] = 0
+        nodes = list(dl)
+        for u in nodes:
+            du = dl[u]
+            for v in nodes:
+                through = du + dl[v]
+                if through < dist[u][v]:
+                    dist[u][v] = through
+                    dist[v][u] = through
+    detail = dict(near.detail)
+    detail.update({"landmarks": len(landmarks), "cap": cap})
+    return TradeoffAPSPResult(dist=dist, metrics=total,
+                              regime="batched+landmarks (Lemma 3.23)",
+                              detail=detail)

@@ -1,0 +1,14 @@
+"""(k, W)-sparse neighborhood covers."""
+
+from repro.covers.mpx_cover import (
+    CoverCollectionMachine,
+    NeighborhoodCover,
+    build_cover_machine_factory,
+    cover_beta,
+    cover_repetitions,
+)
+
+__all__ = [
+    "CoverCollectionMachine", "NeighborhoodCover",
+    "build_cover_machine_factory", "cover_beta", "cover_repetitions",
+]

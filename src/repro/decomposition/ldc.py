@@ -1,0 +1,112 @@
+"""Low Diameter and Communication (LDC) decompositions (Definition 2.3).
+
+An (r, d)-LDC decomposition partitions V into clusters of strong diameter
+<= r together with a sparse inter-cluster edge set F such that every node
+has at most d outgoing F-edges, one into each neighboring cluster.
+Lemma 2.4: running MPX and then letting each node keep one edge per
+neighboring cluster yields an (O(log n), O(log n))-LDC decomposition in
+O(log n) rounds -- at no extra message cost, because the MPX adoption
+broadcasts already tell every node its neighbors' clusters.
+
+This module derives the decomposition from a :class:`Clustering` and
+provides the verification predicates used by tests and benchmark E1
+(which also regenerates the three quantities depicted in the paper's
+Figure 1: cluster count, max strong diameter, max F-out-degree).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.congest.metrics import Metrics
+from repro.decomposition.mpx import Clustering, run_mpx
+from repro.graphs.graph import Graph
+
+
+@dataclass
+class LDCDecomposition:
+    """An (r, d)-LDC decomposition with its spanning cluster trees."""
+
+    clustering: Clustering
+    # Directed inter-cluster communication edges: v -> representative
+    # neighbor, one per cluster neighboring v (Definition 2.3, second
+    # condition).
+    out_edges: Dict[int, List[Tuple[int, int]]]  # v -> [(v, u), ...]
+    metrics: Metrics
+
+    @property
+    def center_of(self) -> Dict[int, int]:
+        return self.clustering.center_of
+
+    @property
+    def parent(self) -> Dict[int, Optional[int]]:
+        return self.clustering.parent
+
+    def members(self) -> Dict[int, List[int]]:
+        return self.clustering.members()
+
+    def f_edges(self) -> Set[Tuple[int, int]]:
+        """All directed F edges."""
+        return {e for edges in self.out_edges.values() for e in edges}
+
+    def max_out_degree(self) -> int:
+        """The d of the (r, d) guarantee, as realized."""
+        if not self.out_edges:
+            return 0
+        return max(len(edges) for edges in self.out_edges.values())
+
+    def max_strong_diameter(self, graph: Graph) -> int:
+        """The r of the (r, d) guarantee, as realized (exact check)."""
+        worst = 0
+        for members in self.members().values():
+            for u in members:
+                for v in members:
+                    if u < v:
+                        d = graph.subgraph_distance(members, u, v)
+                        if d == float("inf"):
+                            raise AssertionError(
+                                "cluster not connected in induced subgraph")
+                        worst = max(worst, int(d))
+        return worst
+
+
+def build_ldc(graph: Graph, *, beta: float = 0.5,
+              seed: int = 0) -> LDCDecomposition:
+    """Lemma 2.4: MPX + one representative edge per neighboring cluster."""
+    clustering = run_mpx(graph, beta=beta, seed=seed)
+    out_edges: Dict[int, List[Tuple[int, int]]] = {}
+    for v in graph.nodes():
+        own = clustering.center_of[v]
+        edges = []
+        for center, representative in sorted(
+                clustering.neighbor_clusters[v].items()):
+            if center != own:
+                edges.append((v, representative))
+        out_edges[v] = edges
+    return LDCDecomposition(clustering=clustering, out_edges=out_edges,
+                            metrics=clustering.metrics)
+
+
+def verify_ldc(graph: Graph, ldc: LDCDecomposition) -> Dict[str, int]:
+    """Check Definition 2.3 exhaustively; return the realized (r, d).
+
+    Raises AssertionError on any violation:
+    * clusters partition V and are connected with bounded strong diameter;
+    * for every node v and every cluster containing a neighbor of v,
+      some outgoing F-edge of v lands in that cluster.
+    """
+    center_of = ldc.center_of
+    assert set(center_of) == set(graph.nodes()), "clusters must partition V"
+    for v, edges in ldc.out_edges.items():
+        covered = {center_of[u] for (_v, u) in edges}
+        needed = {center_of[u] for u in graph.neighbors(v)
+                  if center_of[u] != center_of[v]}
+        assert needed <= covered, (
+            f"node {v} misses F-edges into clusters {needed - covered}")
+        for (_v, u) in edges:
+            assert u in graph.neighbors(v), "F edge must be a graph edge"
+            assert center_of[u] != center_of[v], "F edge must leave cluster"
+    r = ldc.max_strong_diameter(graph)
+    d = ldc.max_out_degree()
+    return {"r": r, "d": d, "clusters": ldc.clustering.num_clusters}

@@ -1,0 +1,27 @@
+"""Graph inputs: the communication graph plus generators and weights."""
+
+from repro.graphs.graph import EdgeKey, Graph, edge_key, from_edges
+from repro.graphs.generators import (
+    augmenting_chain,
+    complete,
+    cycle,
+    dumbbell,
+    gnp,
+    grid,
+    path,
+    random_bipartite,
+    random_tree,
+)
+from repro.graphs.weights import (
+    asymmetric_weights,
+    negative_safe_weights,
+    poly_range_weights,
+    uniform_weights,
+)
+
+__all__ = [
+    "EdgeKey", "Graph", "augmenting_chain", "complete", "cycle",
+    "dumbbell", "edge_key", "from_edges", "gnp", "grid", "path",
+    "random_bipartite", "random_tree", "asymmetric_weights",
+    "negative_safe_weights", "poly_range_weights", "uniform_weights",
+]

@@ -1,0 +1,201 @@
+"""Graph families used throughout the paper's motivation and our benchmarks.
+
+The paper's claims distinguish regimes by density (the message-heavy
+baselines cost Theta(n*m), so dense graphs with m = Theta(n^2) are where
+the new algorithms win by the largest factor) and by diameter (BFS-based
+dilation).  The generators below cover:
+
+* ``gnp`` -- Erdos-Renyi G(n, p), the workhorse; dense at p = 1/2.
+* ``complete`` -- the extreme dense case from the introduction.
+* ``path`` / ``cycle`` / ``grid`` -- high-diameter, sparse cases.
+* ``random_tree`` -- minimally sparse connected graphs.
+* ``dumbbell`` -- two dense blobs joined by a path: the classical shape
+  of CONGEST lower-bound constructions (cf. [1, 8]) where a few edges
+  must carry a lot of information.
+* ``random_bipartite`` -- inputs for the maximum-matching application.
+* ``barbell_matching`` -- bipartite graphs with long augmenting paths,
+  adversarial for augmenting-path matching algorithms.
+
+All generators are deterministic given ``seed`` and always return a
+*connected* graph (they add a random spanning-path patch-up when the raw
+sample is disconnected) so that distributed executions terminate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.graphs.graph import EdgeKey, Graph, from_edges
+
+
+def _rng(seed: int) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def _connect(n: int, edges: set, rng: np.random.Generator) -> None:
+    """Patch a possibly-disconnected edge set into a connected one.
+
+    Joins components along a random permutation; adds at most n-1 edges.
+    """
+    parent = list(range(n))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for u, v in edges:
+        parent[find(u)] = find(v)
+    order = list(rng.permutation(n))
+    for a, b in zip(order, order[1:]):
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            edges.add((min(a, b), max(a, b)))
+            parent[ra] = rb
+
+
+def gnp(n: int, p: float, seed: int = 0) -> Graph:
+    """Erdos-Renyi G(n, p), patched to be connected."""
+    rng = _rng(seed)
+    edges = set()
+    # Vectorized upper-triangle sampling.
+    iu, ju = np.triu_indices(n, k=1)
+    mask = rng.random(len(iu)) < p
+    for u, v in zip(iu[mask], ju[mask]):
+        edges.add((int(u), int(v)))
+    _connect(n, edges, rng)
+    return from_edges(n, edges, name=f"gnp(n={n},p={p})")
+
+
+def complete(n: int) -> Graph:
+    """The complete graph K_n (m = n(n-1)/2)."""
+    edges = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    return from_edges(n, edges, name=f"complete(n={n})")
+
+
+def path(n: int) -> Graph:
+    """The path P_n -- diameter n-1, the worst case for dilation."""
+    return from_edges(n, [(i, i + 1) for i in range(n - 1)], name=f"path(n={n})")
+
+
+def cycle(n: int) -> Graph:
+    """The cycle C_n."""
+    edges = [(i, (i + 1) % n) for i in range(n)]
+    return from_edges(n, edges, name=f"cycle(n={n})")
+
+
+def grid(rows: int, cols: int) -> Graph:
+    """The rows x cols grid -- moderate diameter, degree <= 4."""
+    def nid(r: int, c: int) -> int:
+        return r * cols + c
+
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                edges.append((nid(r, c), nid(r, c + 1)))
+            if r + 1 < rows:
+                edges.append((nid(r, c), nid(r + 1, c)))
+    return from_edges(rows * cols, edges, name=f"grid({rows}x{cols})")
+
+
+def random_tree(n: int, seed: int = 0) -> Graph:
+    """A uniformly random labelled tree (via a random attachment order)."""
+    rng = _rng(seed)
+    edges = []
+    order = list(rng.permutation(n))
+    for i in range(1, n):
+        j = int(rng.integers(0, i))
+        edges.append((order[i], order[j]))
+    return from_edges(n, edges, name=f"random_tree(n={n})")
+
+
+def dumbbell(blob: int, bridge: int, seed: int = 0) -> Graph:
+    """Two K_blob cliques joined by a path of ``bridge`` nodes.
+
+    The shape of the lower-bound graphs of [1, 8]: Theta(blob^2) edges on
+    each side but only the bridge to exchange information, which makes
+    per-edge congestion on the bridge the binding constraint.
+    """
+    n = 2 * blob + bridge
+    edges = []
+    for u in range(blob):
+        for v in range(u + 1, blob):
+            edges.append((u, v))
+    off = blob + bridge
+    for u in range(blob):
+        for v in range(u + 1, blob):
+            edges.append((off + u, off + v))
+    chain = [blob - 1] + list(range(blob, blob + bridge)) + [off]
+    for a, b in zip(chain, chain[1:]):
+        edges.append((a, b))
+    return from_edges(n, edges, name=f"dumbbell(blob={blob},bridge={bridge})")
+
+
+def random_bipartite(left: int, right: int, p: float, seed: int = 0) -> Graph:
+    """Random bipartite graph on left + right nodes (left side first).
+
+    Connectivity is patched with extra cross edges only, so the result
+    remains bipartite.
+    """
+    rng = _rng(seed)
+    n = left + right
+    edges = set()
+    for u in range(left):
+        for v in range(right):
+            if rng.random() < p:
+                edges.add((u, left + v))
+
+    def components() -> List[List[int]]:
+        parent = list(range(n))
+
+        def find(x: int) -> int:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        for a, b in edges:
+            parent[find(a)] = find(b)
+        comps: Dict[int, List[int]] = {}
+        for v in range(n):
+            comps.setdefault(find(v), []).append(v)
+        return sorted(comps.values())
+
+    # Bipartite-preserving connectivity patch, in three passes:
+    # give every component a left node, then a right node, then chain
+    # the components with left-right edges.
+    comps = components()
+    for comp in comps:
+        if all(v >= left for v in comp) and left > 0:
+            edges.add((int(rng.integers(0, left)), comp[0]))
+    comps = components()
+    for comp in comps:
+        if all(v < left for v in comp) and right > 0:
+            edges.add((comp[0], left + int(rng.integers(0, right))))
+    comps = components()
+    for prev, comp in zip(comps, comps[1:]):
+        lhs = next(v for v in prev if v < left)
+        rhs = next(v for v in comp if v >= left)
+        edges.add((lhs, rhs))
+    g = from_edges(n, edges, name=f"bipartite({left}+{right},p={p})")
+    if g.is_bipartite() is None:  # pragma: no cover - defensive
+        raise AssertionError("bipartite generator produced an odd cycle")
+    if not g.is_connected():  # pragma: no cover - defensive
+        raise AssertionError("bipartite generator produced a disconnected graph")
+    return g
+
+
+def augmenting_chain(k: int) -> Graph:
+    """A bipartite graph whose maximum matching needs a length-(2k+1) augmentation.
+
+    A path with 2k+2 nodes: the unique maximum matching uses the odd
+    edges; greedy/maximal matchings can pick the even ones and then need
+    one long augmenting path.  Stress input for Corollary 2.8.
+    """
+    n = 2 * k + 2
+    return from_edges(n, [(i, i + 1) for i in range(n - 1)],
+                      name=f"augmenting_chain(k={k})")

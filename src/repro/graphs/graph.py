@@ -1,0 +1,192 @@
+"""The input graph abstraction shared by every algorithm in the library.
+
+A :class:`Graph` is the communication network of the CONGEST model
+(§1.1.1): undirected, connected (for most algorithms), with nodes named
+``0 .. n-1``.  Edge weights are optional and may be asymmetric (the
+weighted-APSP result, Theorem 1.1, holds "even on directed graphs and
+even if the edge weights are negative"; directedness affects only the
+*weights*, never the communication links, which are always two-way).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+EdgeKey = Tuple[int, int]
+
+
+def undirected(u: int, v: int) -> EdgeKey:
+    """Canonical key for the undirected edge {u, v}.
+
+    Kept consistent with :func:`repro.congest.metrics.undirected` (the
+    metrics module avoids importing this one to keep the dependency
+    graph acyclic: graphs is the bottom layer).
+    """
+    return (u, v) if repr(u) <= repr(v) else (v, u)
+
+
+@dataclass
+class Graph:
+    """An undirected communication graph with optional (directed) weights.
+
+    Parameters
+    ----------
+    adj:
+        Adjacency map ``node -> sorted tuple of neighbors``.  Node names
+        must be ``0 .. n-1``.
+    weights:
+        Optional map from *ordered* pair ``(u, v)`` to the weight of the
+        directed edge u->v.  For undirected weighted graphs both
+        orientations carry the same value.  ``None`` means unweighted
+        (every edge has weight 1).
+    """
+
+    adj: Dict[int, Tuple[int, ...]]
+    weights: Optional[Dict[EdgeKey, float]] = None
+    name: str = "graph"
+
+    def __post_init__(self) -> None:
+        expected = set(range(len(self.adj)))
+        if set(self.adj) != expected:
+            raise ValueError("graph nodes must be named 0..n-1")
+        for u, nbrs in self.adj.items():
+            for v in nbrs:
+                if v == u:
+                    raise ValueError(f"self-loop at node {u}")
+                if u not in self.adj[v]:
+                    raise ValueError(f"adjacency not symmetric on edge ({u},{v})")
+        if self.weights is not None:
+            for (u, v) in list(self.weights):
+                if v not in self.adj[u]:
+                    raise ValueError(f"weight given for non-edge ({u},{v})")
+                if (v, u) not in self.weights:
+                    # Symmetrize silently: undirected weighted input.
+                    self.weights[(v, u)] = self.weights[(u, v)]
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return len(self.adj)
+
+    @property
+    def m(self) -> int:
+        """Number of undirected edges."""
+        return sum(len(nbrs) for nbrs in self.adj.values()) // 2
+
+    def nodes(self) -> range:
+        return range(self.n)
+
+    def neighbors(self, u: int) -> Tuple[int, ...]:
+        return self.adj[u]
+
+    def degree(self, u: int) -> int:
+        return len(self.adj[u])
+
+    def edges(self) -> Iterator[EdgeKey]:
+        """Each undirected edge once, as (u, v) with u < v."""
+        for u, nbrs in self.adj.items():
+            for v in nbrs:
+                if u < v:
+                    yield (u, v)
+
+    def weight(self, u: int, v: int) -> float:
+        """Weight of the directed edge u -> v (1 if unweighted)."""
+        if self.weights is None:
+            return 1
+        return self.weights[(u, v)]
+
+    @property
+    def is_weighted(self) -> bool:
+        return self.weights is not None
+
+    # ------------------------------------------------------------------
+    # Structure checks used by tests and drivers
+    # ------------------------------------------------------------------
+    def is_connected(self) -> bool:
+        if self.n == 0:
+            return True
+        seen = {0}
+        queue = deque([0])
+        while queue:
+            u = queue.popleft()
+            for v in self.adj[u]:
+                if v not in seen:
+                    seen.add(v)
+                    queue.append(v)
+        return len(seen) == self.n
+
+    def is_bipartite(self) -> Optional[Tuple[List[int], List[int]]]:
+        """Return a bipartition (sides as node lists) or None."""
+        color: Dict[int, int] = {}
+        for start in self.nodes():
+            if start in color:
+                continue
+            color[start] = 0
+            queue = deque([start])
+            while queue:
+                u = queue.popleft()
+                for v in self.adj[u]:
+                    if v not in color:
+                        color[v] = 1 - color[u]
+                        queue.append(v)
+                    elif color[v] == color[u]:
+                        return None
+        left = [u for u in self.nodes() if color[u] == 0]
+        right = [u for u in self.nodes() if color[u] == 1]
+        return left, right
+
+    def subgraph_distance(self, cluster: Iterable[int], u: int, v: int) -> float:
+        """Hop distance between u and v inside the induced subgraph.
+
+        Used to verify the *strong* diameter condition of LDC
+        decompositions (Definition 2.3) and cluster radii (Theorem 3.3a).
+        Returns ``inf`` if disconnected within the cluster.
+        """
+        members = set(cluster)
+        if u not in members or v not in members:
+            return float("inf")
+        dist = {u: 0}
+        queue = deque([u])
+        while queue:
+            x = queue.popleft()
+            if x == v:
+                return dist[x]
+            for y in self.adj[x]:
+                if y in members and y not in dist:
+                    dist[y] = dist[x] + 1
+                    queue.append(y)
+        return dist.get(v, float("inf"))
+
+
+def from_edges(n: int, edge_list: Iterable[EdgeKey],
+               weights: Optional[Dict[EdgeKey, float]] = None,
+               name: str = "graph") -> Graph:
+    """Build a :class:`Graph` from an edge list.
+
+    Duplicate edges are collapsed; the adjacency lists come out sorted so
+    that executions are reproducible.
+    """
+    nbrs: List[set] = [set() for _ in range(n)]
+    for u, v in edge_list:
+        if u == v:
+            continue
+        nbrs[u].add(v)
+        nbrs[v].add(u)
+    adj = {u: tuple(sorted(nbrs[u])) for u in range(n)}
+    if weights is not None:
+        full = {}
+        for (u, v), w in weights.items():
+            full[(u, v)] = w
+            full.setdefault((v, u), w)
+        weights = full
+    return Graph(adj=adj, weights=weights, name=name)
+
+
+def edge_key(u: int, v: int) -> EdgeKey:
+    """Canonical undirected key, re-exported for convenience."""
+    return undirected(u, v)

@@ -1,0 +1,9 @@
+"""Matching machines: Israeli-Itai maximal + augmenting-path maximum."""
+
+from repro.matching.augmenting import BipartiteMatchingMachine, build_schedule
+from repro.matching.israeli_itai import IsraeliItaiMachine, matching_from_outputs
+
+__all__ = [
+    "BipartiteMatchingMachine", "IsraeliItaiMachine", "build_schedule",
+    "matching_from_outputs",
+]

@@ -1,0 +1,79 @@
+"""Analysis helpers: exponent fitting, monotonicity, table formatting."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    crossover_point,
+    fit_exponent,
+    format_table,
+    is_monotone,
+    ratio_trend,
+)
+
+
+def test_fit_exponent_recovers_power_law():
+    ns = [16, 32, 64, 128, 256]
+    counts = [3.5 * n ** 2 for n in ns]
+    fit = fit_exponent(ns, counts)
+    assert abs(fit.exponent - 2.0) < 1e-9
+    assert abs(fit.constant - 3.5) < 1e-6
+    assert fit.residual < 1e-9
+    assert abs(fit.predict(512) - 3.5 * 512 ** 2) < 1e-3
+
+
+def test_fit_exponent_strips_polylog():
+    ns = [16, 32, 64, 128, 256, 512]
+    counts = [2.0 * n ** 2 * math.log(n) ** 2 for n in ns]
+    raw = fit_exponent(ns, counts)
+    stripped = fit_exponent(ns, counts, strip_polylog=2)
+    assert raw.exponent > 2.05  # polylog inflates the raw fit
+    assert abs(stripped.exponent - 2.0) < 1e-9
+
+
+def test_fit_exponent_input_validation():
+    with pytest.raises(ValueError):
+        fit_exponent([4], [16])
+    with pytest.raises(ValueError):
+        fit_exponent([4, 8], [16, 0])
+    with pytest.raises(ValueError):
+        fit_exponent([1, 8], [16, 32])
+
+
+def test_is_monotone():
+    assert is_monotone([1, 2, 3])
+    assert not is_monotone([1, 3, 2])
+    assert is_monotone([3, 2, 1], decreasing=True)
+    assert is_monotone([1, 2, 1.95], slack=0.1)
+    assert not is_monotone([1, 2, 1.5], slack=0.1)
+
+
+def test_crossover_point():
+    xs = [1, 2, 3, 4]
+    a = [1, 2, 5, 9]
+    b = [3, 3, 3, 3]
+    x, crossed = crossover_point(xs, a, b)
+    assert crossed and x == 3
+    x, crossed = crossover_point(xs, [0, 0, 0, 0], b)
+    assert not crossed and x == 4
+
+
+def test_ratio_trend():
+    assert ratio_trend([1, 2], [10, 30], [5, 10]) == [2.0, 3.0]
+
+
+def test_format_table_alignment():
+    text = format_table(["name", "count"], [("a", 10), ("bb", 2000)],
+                        title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "count" in lines[1]
+    assert lines[2].startswith("-")
+    assert len({len(line) for line in lines[1:]}) == 1  # aligned widths
+
+
+def test_format_table_float_formatting():
+    text = format_table(["x"], [(0.123456,), (1234.5,), (0.0,)])
+    assert "0.123" in text
+    assert "1234" in text or "1235" in text

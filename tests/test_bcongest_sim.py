@@ -1,0 +1,128 @@
+"""Theorem 2.1 simulation: correctness (Lemma 2.5) and cost shape."""
+
+import pytest
+
+from repro.baselines.reference import (
+    bfs_distances,
+    unweighted_apsp,
+    weighted_apsp as ref_weighted_apsp,
+)
+from repro.congest import run_machines
+from repro.core.bcongest_sim import (
+    chunk_words,
+    flatten_to_words,
+    simulate_bcongest,
+)
+from repro.core.weighted_apsp import make_delays, weighted_apsp
+from repro.graphs import complete, dumbbell, gnp, grid, path, uniform_weights
+from repro.graphs.weights import asymmetric_weights, negative_safe_weights
+from repro.primitives import (
+    BFSCollectionMachine,
+    BFSMachine,
+    BellmanFordCollectionMachine,
+    LubyMISMachine,
+)
+
+
+def test_flatten_and_chunk():
+    assert flatten_to_words({1: (2, 3)}) == [1, 2, 3]
+    assert flatten_to_words(None) == []
+    assert chunk_words([1, 2, 3, 4, 5], size=2) == [(1, 2), (3, 4), (5,)]
+
+
+def test_simulated_bfs_equals_direct_run():
+    """Lemma 2.5: the simulation reproduces A's outputs exactly."""
+    g = gnp(24, 0.2, seed=11)
+    factory = lambda info: BFSMachine(info, root=3)
+    direct = run_machines(g, factory, seed=5)
+    sim = simulate_bcongest(g, factory, seed=5)
+    assert sim.outputs == direct.outputs
+    # Broadcast complexity is preserved: every node broadcasts once.
+    assert sim.broadcasts_simulated == direct.metrics.broadcasts == g.n
+
+
+def test_simulated_luby_equals_direct_run():
+    """A randomized simulated algorithm: identical coin flips, identical MIS."""
+    g = gnp(30, 0.15, seed=12)
+    direct = run_machines(g, LubyMISMachine, seed=9)
+    sim = simulate_bcongest(g, LubyMISMachine, seed=9)
+    assert sim.outputs == direct.outputs
+
+
+def test_simulated_bfs_collection_apsp():
+    g = grid(4, 5)
+    roots = {j: j for j in g.nodes()}
+    delays = make_delays(g.n, 3)
+    factory = lambda info: BFSCollectionMachine(info, roots=roots,
+                                                delays=delays)
+    sim = simulate_bcongest(g, factory, seed=3, message_words=6 * g.n)
+    ref = unweighted_apsp(g)
+    for v in g.nodes():
+        for j in g.nodes():
+            assert sim.outputs[v][j][0] == ref[j][v]
+
+
+def test_message_complexity_tracks_broadcasts_not_messages():
+    """The point of Theorem 2.1: on dense graphs, simulated message cost
+    is governed by B_A, while the direct run pays deg(v) per broadcast."""
+    g = complete(28)
+    factory = lambda info: BFSMachine(info, root=0)
+    direct = run_machines(g, factory, seed=1)
+    sim = simulate_bcongest(g, factory, seed=1)
+    assert sim.outputs == direct.outputs
+    # Direct: n broadcasts * (n-1) neighbors ~ n^2 messages.
+    assert direct.metrics.messages == g.n * (g.n - 1)
+    # Simulated: the per-phase traffic (excluding one-off preprocessing,
+    # which is O(m log n) ~ In) tracks B_A up to polylog factors.
+    assert sim.simulation.messages < direct.metrics.messages
+
+
+def test_weighted_apsp_theorem_1_1_positive():
+    g = uniform_weights(gnp(16, 0.3, seed=13), w_max=9, seed=13)
+    result = weighted_apsp(g, seed=2)
+    ref = ref_weighted_apsp(g)
+    assert result.dist == ref
+
+
+def test_weighted_apsp_theorem_1_1_negative_and_directed():
+    g = negative_safe_weights(gnp(12, 0.35, seed=14), w_max=6, seed=14)
+    result = weighted_apsp(g, seed=4)
+    ref = ref_weighted_apsp(g)
+    assert result.dist == ref
+
+
+def test_weighted_apsp_asymmetric():
+    g = asymmetric_weights(gnp(12, 0.3, seed=15), w_max=9, seed=15)
+    result = weighted_apsp(g, seed=6)
+    ref = ref_weighted_apsp(g)
+    assert result.dist == ref
+
+
+def test_simulation_on_dumbbell():
+    """The lower-bound-style topology: dense blobs, thin bridge."""
+    g = dumbbell(8, 3, seed=16)
+    factory = lambda info: BFSMachine(info, root=0)
+    direct = run_machines(g, factory, seed=7)
+    sim = simulate_bcongest(g, factory, seed=7)
+    assert sim.outputs == direct.outputs
+
+
+def test_simulation_on_path_edge_case():
+    g = path(9)
+    factory = lambda info: BFSMachine(info, root=4)
+    sim = simulate_bcongest(g, factory, seed=8)
+    ref = bfs_distances(g, 4)
+    for v in g.nodes():
+        assert sim.outputs[v][0] == ref[v]
+
+
+def test_report_accounting_consistent():
+    g = gnp(20, 0.25, seed=17)
+    factory = lambda info: BFSMachine(info, root=0)
+    sim = simulate_bcongest(g, factory, seed=1)
+    assert sim.total.messages == (sim.preprocessing.messages
+                                  + sim.simulation.messages
+                                  + sim.output_delivery.messages)
+    assert sim.input_words >= 2 * g.m  # every edge described twice
+    assert sim.phases >= 1
+    assert sim.ldc_stats["clusters"] >= 1

@@ -1,0 +1,43 @@
+"""CLI smoke tests: every subcommand runs and reports exact results."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_cli_apsp_unweighted(capsys):
+    assert main(["apsp", "--n", "12", "--p", "0.4"]) == 0
+    out = capsys.readouterr().out
+    assert "exact=True" in out
+    assert "message-optimal" in out
+
+
+def test_cli_apsp_weighted(capsys):
+    assert main(["--seed", "3", "apsp", "--n", "10", "--weighted"]) == 0
+    assert "exact=True" in capsys.readouterr().out
+
+
+def test_cli_tradeoff(capsys):
+    assert main(["tradeoff", "--n", "14", "--eps", "0.0", "1.0"]) == 0
+    out = capsys.readouterr().out
+    assert "star" in out and "message-optimal" in out
+
+
+def test_cli_matching(capsys):
+    assert main(["matching", "--left", "5", "--right", "6"]) == 0
+    assert "matching size" in capsys.readouterr().out
+
+
+def test_cli_cover(capsys):
+    assert main(["cover", "--n", "16", "--k", "2", "--w", "1"]) == 0
+    assert "cover" in capsys.readouterr().out
+
+
+def test_cli_decompose(capsys):
+    assert main(["decompose", "--n", "20", "--eps", "0.5"]) == 0
+    assert "kappa=2" in capsys.readouterr().out
+
+
+def test_cli_requires_command():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,92 @@
+"""Neighborhood covers (Corollary 2.9) and the MPX/LDC decompositions."""
+
+import math
+
+import pytest
+
+from repro.core.cover_app import neighborhood_cover, neighborhood_cover_direct
+from repro.decomposition.ldc import build_ldc, verify_ldc
+from repro.decomposition.mpx import run_mpx, shift_cap
+from repro.graphs import complete, gnp, grid, path
+
+
+def test_mpx_partitions_and_trees():
+    g = gnp(40, 0.15, seed=81)
+    clustering = run_mpx(g, beta=0.5, seed=81)
+    assert set(clustering.center_of) == set(g.nodes())
+    for v in g.nodes():
+        c = clustering.center_of[v]
+        p = clustering.parent[v]
+        if v == c:
+            assert p is None and clustering.dist[v] == 0
+        else:
+            assert p in g.neighbors(v)
+            assert clustering.center_of[p] == c
+            assert clustering.dist[p] == clustering.dist[v] - 1
+    assert clustering.max_radius() <= 2 * shift_cap(g.n, 0.5)
+    # Broadcast complexity of MPX is exactly n (Lemma 2.4 machinery).
+    assert clustering.metrics.broadcasts == g.n
+
+
+def test_mpx_neighbor_knowledge():
+    g = grid(5, 5)
+    clustering = run_mpx(g, beta=0.5, seed=82)
+    for v in g.nodes():
+        table = clustering.neighbor_clusters[v]
+        for nbr in g.neighbors(v):
+            c = clustering.center_of[nbr]
+            assert c in table
+            assert clustering.center_of[table[c]] == c
+            assert table[c] in g.neighbors(v)
+
+
+@pytest.mark.parametrize("maker", [
+    lambda: gnp(35, 0.2, seed=83),
+    lambda: path(20),
+    lambda: complete(16),
+])
+def test_ldc_definition_holds(maker):
+    g = maker()
+    ldc = build_ldc(g, seed=83)
+    stats = verify_ldc(g, ldc)
+    # (O(log n), O(log n)) guarantees, with explicit constants checked
+    # loosely (these are w.h.p. bounds).
+    log_n = math.log2(g.n)
+    assert stats["r"] <= 8 * log_n + 4
+    assert stats["d"] <= 8 * log_n + 4
+
+
+def test_cover_direct_properties():
+    g = gnp(28, 0.25, seed=84)
+    k, w = 2, 2
+    result = neighborhood_cover_direct(g, k, w, seed=84)
+    stats = result.cover.verify(g)
+    assert stats["max_depth"] <= stats["depth_bound"]
+    assert stats["max_overlap"] <= stats["overlap_bound"]
+    assert result.metrics.broadcasts == stats["repetitions"] * g.n
+
+
+def test_cover_padding_on_path():
+    g = path(16)
+    result = neighborhood_cover_direct(g, 2, 2, seed=85)
+    for v in g.nodes():
+        assert result.cover.padded_repetition(g, v) is not None
+
+
+def test_cover_simulated_matches_direct():
+    g = gnp(20, 0.3, seed=86)
+    k, w = 2, 2
+    direct = neighborhood_cover_direct(g, k, w, seed=86, boost=1.0)
+    sim = neighborhood_cover(g, k, w, seed=86, boost=1.0)
+    assert len(sim.cover.clusterings) == len(direct.cover.clusterings)
+    for cs, cd in zip(sim.cover.clusterings, direct.cover.clusterings):
+        assert cs.center_of == cd.center_of
+        assert cs.parent == cd.parent
+
+
+def test_cover_trees_flattening():
+    g = grid(4, 4)
+    result = neighborhood_cover_direct(g, 2, 1, seed=87, boost=1.0)
+    trees = result.cover.trees()
+    total_nodes = sum(len(t) for t in trees)
+    assert total_nodes == g.n * len(result.cover.clusterings)

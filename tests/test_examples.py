@@ -1,0 +1,25 @@
+"""Smoke tests: every shipped example runs end to end (their internal
+assertions double as integration checks)."""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script, capsys):
+    spec = importlib.util.spec_from_file_location(script.stem, script)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[script.stem] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.modules.pop(script.stem, None)
+    out = capsys.readouterr().out
+    assert len(out) > 100, f"{script.stem} produced no meaningful output"

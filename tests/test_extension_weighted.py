@@ -1,0 +1,60 @@
+"""EXTENSION tests: the weighted-APSP message-time trade-off (§4 open
+question, implemented for eps in [1/2, 1] via Theorem 3.10 applied to
+the Bellman-Ford collection)."""
+
+import pytest
+
+from repro.baselines.reference import weighted_apsp as ref_apsp
+from repro.core.weighted_apsp import weighted_apsp_tradeoff
+from repro.graphs import gnp, grid, uniform_weights
+from repro.graphs.weights import asymmetric_weights, negative_safe_weights
+
+
+@pytest.mark.parametrize("eps", [0.5, 0.75, 1.0])
+def test_weighted_tradeoff_exact(eps):
+    g = uniform_weights(gnp(18, 0.3, seed=120), w_max=7, seed=120)
+    result = weighted_apsp_tradeoff(g, eps, seed=120)
+    assert result.dist == ref_apsp(g)
+    assert result.detail["mode"] == "star"
+
+
+def test_weighted_tradeoff_negative_weights():
+    g = negative_safe_weights(gnp(12, 0.35, seed=121), w_max=5, seed=121)
+    result = weighted_apsp_tradeoff(g, 0.75, seed=121)
+    assert result.dist == ref_apsp(g)
+
+
+def test_weighted_tradeoff_directed():
+    g = asymmetric_weights(gnp(12, 0.35, seed=122), w_max=9, seed=122)
+    result = weighted_apsp_tradeoff(g, 0.5, seed=122)
+    assert result.dist == ref_apsp(g)
+
+
+def test_weighted_tradeoff_small_eps_falls_back():
+    g = uniform_weights(gnp(12, 0.4, seed=123), w_max=4, seed=123)
+    result = weighted_apsp_tradeoff(g, 0.0, seed=123)
+    assert result.dist == ref_apsp(g)
+    # The fallback is the Theorem 1.1 pipeline (simulation report set).
+    assert result.report is not None
+
+
+def test_weighted_tradeoff_on_grid():
+    g = uniform_weights(grid(4, 5), w_max=6, seed=124)
+    result = weighted_apsp_tradeoff(g, 1.0, seed=124)
+    assert result.dist == ref_apsp(g)
+
+
+def test_weighted_tradeoff_eps_validation():
+    g = uniform_weights(gnp(8, 0.5, seed=125), w_max=3, seed=125)
+    with pytest.raises(ValueError):
+        weighted_apsp_tradeoff(g, 1.5)
+
+
+def test_weighted_tradeoff_round_message_endpoints():
+    """eps = 1 runs fewer rounds than the message-optimal end; the
+    message-optimal end sends fewer messages."""
+    g = uniform_weights(gnp(16, 0.5, seed=126), w_max=5, seed=126)
+    msg_opt = weighted_apsp_tradeoff(g, 0.0, seed=126)
+    round_opt = weighted_apsp_tradeoff(g, 1.0, seed=126)
+    assert msg_opt.dist == round_opt.dist == ref_apsp(g)
+    assert round_opt.metrics.rounds < msg_opt.metrics.rounds

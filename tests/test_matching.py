@@ -1,0 +1,70 @@
+"""Matching subsystem: Israeli-Itai maximality, augmenting-path exactness
+(vs. Hopcroft-Karp), and the Corollary 2.8 application."""
+
+import pytest
+
+from repro.baselines.reference import (
+    hopcroft_karp,
+    is_matching,
+    is_maximal_matching,
+    maximum_matching_size,
+)
+from repro.congest import run_machines
+from repro.core.matching_app import maximum_matching, maximum_matching_direct
+from repro.graphs import augmenting_chain, gnp, grid, path, random_bipartite
+from repro.matching.israeli_itai import IsraeliItaiMachine, matching_from_outputs
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_israeli_itai_maximal(seed):
+    g = gnp(30, 0.2, seed=60 + seed)
+    execution = run_machines(g, IsraeliItaiMachine, seed=seed)
+    matching = matching_from_outputs(execution.outputs)
+    assert is_maximal_matching(g, matching)
+
+
+def test_israeli_itai_on_structured_graphs():
+    for g in (path(10), grid(4, 4)):
+        execution = run_machines(g, IsraeliItaiMachine, seed=1)
+        assert is_maximal_matching(g, matching_from_outputs(execution.outputs))
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_max_matching_direct_random_bipartite(seed):
+    g = random_bipartite(8, 9, 0.3, seed=70 + seed)
+    result = maximum_matching_direct(g, seed=seed)
+    assert is_matching(g, result.matching)
+    assert result.size == maximum_matching_size(g)
+
+
+def test_max_matching_long_augmenting_path():
+    g = augmenting_chain(5)  # needs a length-11 augmentation in the worst case
+    result = maximum_matching_direct(g, seed=2)
+    assert result.size == maximum_matching_size(g)
+
+
+def test_max_matching_path_and_grid():
+    for g in (path(9), grid(3, 4)):
+        result = maximum_matching_direct(g, seed=3)
+        assert result.size == maximum_matching_size(g)
+
+
+def test_max_matching_simulated_equals_direct():
+    g = random_bipartite(6, 7, 0.35, seed=75)
+    direct = maximum_matching_direct(g, seed=4)
+    sim = maximum_matching(g, seed=4)
+    assert sim.matching == direct.matching
+    assert sim.size == maximum_matching_size(g)
+
+
+def test_max_matching_rejects_odd_cycles():
+    from repro.graphs import cycle
+    with pytest.raises(ValueError):
+        maximum_matching(cycle(5))
+
+
+def test_max_matching_dense_bipartite():
+    g = random_bipartite(10, 10, 0.6, seed=76)
+    result = maximum_matching_direct(g, seed=5)
+    assert result.size == maximum_matching_size(g)
+    assert is_matching(g, result.matching)

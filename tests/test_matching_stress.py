@@ -1,0 +1,123 @@
+"""Stress and unit coverage for the matching subsystem: many random
+instances vs. Hopcroft-Karp, structured adversarial families, and the
+phase-schedule arithmetic of the augmenting-path machine."""
+
+import pytest
+
+from repro.baselines.reference import (
+    is_matching,
+    is_maximal_matching,
+    maximum_matching_size,
+)
+from repro.congest import run_machines
+from repro.core.matching_app import maximum_matching_direct
+from repro.graphs import from_edges, grid, random_bipartite
+from repro.matching import build_schedule
+from repro.matching.israeli_itai import IsraeliItaiMachine, matching_from_outputs
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_random_bipartite_exact_many_seeds(seed):
+    g = random_bipartite(5 + seed % 4, 6 + seed % 3, 0.25 + 0.05 * (seed % 3),
+                         seed=200 + seed)
+    result = maximum_matching_direct(g, seed=seed)
+    assert is_matching(g, result.matching)
+    assert result.size == maximum_matching_size(g)
+
+
+def test_complete_bipartite():
+    edges = [(u, 4 + v) for u in range(4) for v in range(4)]
+    g = from_edges(8, edges)
+    result = maximum_matching_direct(g, seed=1)
+    assert result.size == 4
+
+
+def test_star_bipartite():
+    # One left hub connected to many right leaves: maximum matching 1.
+    g = from_edges(6, [(0, i) for i in range(1, 6)])
+    result = maximum_matching_direct(g, seed=2)
+    assert result.size == 1
+
+
+def test_double_star():
+    # Two hubs sharing leaves: matching size 2.
+    edges = [(0, 2), (0, 3), (0, 4), (1, 2), (1, 3), (1, 4)]
+    g = from_edges(5, edges)
+    result = maximum_matching_direct(g, seed=3)
+    assert result.size == maximum_matching_size(g) == 2
+
+
+def test_unbalanced_bipartite():
+    g = random_bipartite(3, 12, 0.4, seed=210)
+    result = maximum_matching_direct(g, seed=4)
+    assert result.size == maximum_matching_size(g)
+
+
+def test_grid_is_perfectly_matchable():
+    g = grid(4, 4)
+    result = maximum_matching_direct(g, seed=5)
+    assert result.size == 8  # 4x4 grid has a perfect matching
+
+
+def test_single_edge_and_two_disjoint_edges():
+    g = from_edges(2, [(0, 1)])
+    assert maximum_matching_direct(g, seed=6).size == 1
+    g = from_edges(4, [(0, 1), (1, 2), (2, 3)])
+    assert maximum_matching_direct(g, seed=7).size == 2
+
+
+# ----------------------------------------------------------------------
+# Schedule arithmetic
+# ----------------------------------------------------------------------
+
+def test_build_schedule_structure():
+    windows = build_schedule(n=10, s=4)
+    assert len(windows) == 4 + 10  # s multi-source + n sweep phases
+    for w in windows:
+        assert w.start < w.explore_end < w.backprop_end < w.commit_end
+    for a, b in zip(windows, windows[1:]):
+        assert b.start == a.commit_end + 1
+    # Multi-source phases have source None; sweep phases name each node.
+    assert all(w.source is None for w in windows[:4])
+    assert [w.source for w in windows[4:]] == list(range(10))
+
+
+def test_build_schedule_budgets_grow_with_phase():
+    windows = build_schedule(n=20, s=6)
+    lengths = [w.commit_end - w.start for w in windows[:6]]
+    # Budget ~ s/(s-i) is nondecreasing over multi-source phases.
+    assert lengths == sorted(lengths)
+    full = windows[6]
+    assert full.commit_end - full.start >= lengths[-1]
+
+
+def test_build_schedule_empty_graph_edge_case():
+    assert build_schedule(n=1, s=1)[0].start == 1
+
+
+# ----------------------------------------------------------------------
+# Israeli-Itai extra coverage
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("seed", range(6))
+def test_israeli_itai_dense(seed):
+    g = random_bipartite(8, 8, 0.7, seed=220 + seed)
+    execution = run_machines(g, IsraeliItaiMachine, seed=seed)
+    matching = matching_from_outputs(execution.outputs)
+    assert is_maximal_matching(g, matching)
+    # Maximal matchings are at least half the maximum.
+    assert 2 * len(matching) >= maximum_matching_size(g)
+
+
+def test_israeli_itai_broadcast_complexity_logarithmic():
+    from repro.graphs import gnp
+    g = gnp(60, 0.2, seed=226)
+    execution = run_machines(g, IsraeliItaiMachine, seed=9)
+    # O(1) broadcasts per node per phase, O(log n) phases w.h.p.
+    assert execution.metrics.broadcasts <= 8 * g.n
+    assert execution.rounds <= 40 * 3  # phases are 3 rounds each
+
+
+def test_matching_from_outputs_detects_inconsistency():
+    with pytest.raises(AssertionError):
+        matching_from_outputs({0: 1, 1: 2, 2: 1})

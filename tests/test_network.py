@@ -1,0 +1,177 @@
+"""Unit tests for the CONGEST simulator core (model enforcement, metering)."""
+
+import pytest
+
+from repro.congest import (
+    Algorithm,
+    BroadcastOnly,
+    DuplicateSend,
+    MessageTooLarge,
+    Metrics,
+    NotANeighbor,
+    payload_words,
+    run_algorithm,
+)
+from repro.graphs import complete, from_edges, path
+
+
+class _Ping(Algorithm):
+    """Node 0 sends to 1 in round 1; node 1 echoes in round 2."""
+
+    def on_round(self, api, rnd, inbox):
+        if rnd == 1 and self.info.id == 0:
+            api.send(1, "ping")
+        for src, msg in inbox:
+            if msg == "ping":
+                api.send(src, "pong")
+            if msg == "pong":
+                api.halt("done")
+
+
+class _Broadcaster(Algorithm):
+    def on_round(self, api, rnd, inbox):
+        if rnd == 1:
+            api.broadcast(("hello", self.info.id))
+            api.wake_at(2)
+        else:
+            api.halt(len(inbox))
+
+
+def test_ping_pong_rounds_and_messages():
+    g = path(3)
+    execution = run_algorithm(g, _Ping)
+    assert execution.outputs[0] == "done"
+    assert execution.metrics.messages == 2
+    # ping in round 1, pong in round 2, received in round 3.
+    assert execution.rounds == 3
+
+
+def test_broadcast_counts_messages_and_broadcasts():
+    g = complete(5)
+    execution = run_algorithm(g, _Broadcaster)
+    # Each of 5 nodes broadcasts once to 4 neighbors.
+    assert execution.metrics.broadcasts == 5
+    assert execution.metrics.messages == 20
+    # Every node then receives 4 messages in round 2.
+    assert all(execution.outputs[v] == 4 for v in g.nodes())
+
+
+def test_edge_congestion_metering():
+    g = path(2)
+
+    class TwoRounds(Algorithm):
+        def on_round(self, api, rnd, inbox):
+            if rnd <= 2 and self.info.id == 0:
+                api.send(1, rnd)
+                api.wake_at(rnd + 1)
+
+    execution = run_algorithm(g, TwoRounds)
+    assert execution.metrics.edge_congestion[(0, 1)] == 2
+    assert execution.metrics.max_edge_congestion == 2
+
+
+def test_duplicate_send_raises():
+    g = path(2)
+
+    class Dup(Algorithm):
+        def on_round(self, api, rnd, inbox):
+            if self.info.id == 0:
+                api.send(1, "a")
+                api.send(1, "b")
+
+    with pytest.raises(DuplicateSend):
+        run_algorithm(g, Dup)
+
+
+def test_send_to_non_neighbor_raises():
+    g = path(3)
+
+    class Bad(Algorithm):
+        def on_round(self, api, rnd, inbox):
+            if self.info.id == 0:
+                api.send(2, "x")
+
+    with pytest.raises(NotANeighbor):
+        run_algorithm(g, Bad)
+
+
+def test_bcongest_rejects_point_to_point():
+    g = path(2)
+
+    class P2P(Algorithm):
+        def on_round(self, api, rnd, inbox):
+            api.send(self.info.neighbors[0], "x")
+
+    with pytest.raises(BroadcastOnly):
+        run_algorithm(g, P2P, bcast_only=True)
+
+
+def test_message_size_enforced():
+    g = path(2)
+
+    class Fat(Algorithm):
+        def on_round(self, api, rnd, inbox):
+            if self.info.id == 0:
+                api.send(1, tuple(range(100)))
+
+    with pytest.raises(MessageTooLarge):
+        run_algorithm(g, Fat, word_limit=8)
+    # A generous limit admits the same message.
+    run_algorithm(g, Fat, word_limit=128)
+
+
+def test_idle_fast_forward_counts_skipped_rounds():
+    g = path(2)
+
+    class Sleeper(Algorithm):
+        def on_round(self, api, rnd, inbox):
+            if rnd == 1:
+                api.wake_at(100)
+            elif rnd == 100 and self.info.id == 0:
+                api.send(1, "late")
+
+    execution = run_algorithm(g, Sleeper)
+    # The message lands in round 101; the wait is counted, not elided.
+    assert execution.rounds == 101
+    assert execution.metrics.messages == 1
+
+
+def test_payload_words():
+    assert payload_words(5) == 1
+    assert payload_words((1, 2, 3)) == 3
+    assert payload_words({1: (2, 3)}) == 3
+    assert payload_words(None) == 0
+    assert payload_words("tag") == 1
+
+
+def test_metrics_snapshot_delta_merge():
+    m = Metrics()
+    m.record_send(0, 1, 2)
+    snap = m.snapshot()
+    m.record_send(1, 0, 1)
+    delta = m.delta_since(snap)
+    assert delta.messages == 1 and delta.words == 1
+    other = Metrics(rounds=5)
+    other.record_send(2, 3, 1)
+    m.rounds = 7
+    m.merge(other)
+    assert m.rounds == 12 and m.messages == 3
+    m2 = Metrics(rounds=3)
+    m2.merge(Metrics(rounds=9), parallel=True)
+    assert m2.rounds == 9
+
+
+def test_node_info_weights_directed():
+    g = from_edges(2, [(0, 1)], weights={(0, 1): 5, (1, 0): 7})
+
+    captured = {}
+
+    class Peek(Algorithm):
+        def on_round(self, api, rnd, inbox):
+            captured[self.info.id] = (self.info.weight_to(1 - self.info.id),
+                                      self.info.weight_from(1 - self.info.id))
+            api.halt()
+
+    run_algorithm(g, Peek)
+    assert captured[0] == (5, 7)
+    assert captured[1] == (7, 5)

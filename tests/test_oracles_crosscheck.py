@@ -1,0 +1,84 @@
+"""Cross-check our sequential oracles against networkx and scipy.
+
+The distributed algorithms are validated against
+:mod:`repro.baselines.reference`; this module validates the reference
+implementations themselves against two independent third-party
+libraries, closing the loop.
+"""
+
+import networkx as nx
+import numpy as np
+import pytest
+from scipy.sparse import csr_matrix
+from scipy.sparse.csgraph import bellman_ford as scipy_bellman_ford
+from scipy.sparse.csgraph import dijkstra as scipy_dijkstra
+
+from repro.baselines.reference import (
+    floyd_warshall,
+    hopcroft_karp,
+    unweighted_apsp,
+    weighted_apsp,
+)
+from repro.graphs import gnp, random_bipartite, uniform_weights
+from repro.graphs.weights import negative_safe_weights
+
+
+def _to_nx(g):
+    G = nx.Graph()
+    G.add_nodes_from(g.nodes())
+    for u, v in g.edges():
+        G.add_edge(u, v)
+    return G
+
+
+def _to_scipy(g):
+    n = g.n
+    data, rows, cols = [], [], []
+    for u in g.nodes():
+        for v in g.neighbors(u):
+            rows.append(u)
+            cols.append(v)
+            data.append(g.weight(u, v))
+    return csr_matrix((data, (rows, cols)), shape=(n, n))
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_unweighted_apsp_vs_networkx(seed):
+    g = gnp(22, 0.2, seed=240 + seed)
+    ours = unweighted_apsp(g)
+    theirs = dict(nx.all_pairs_shortest_path_length(_to_nx(g)))
+    for u in g.nodes():
+        for v in g.nodes():
+            assert ours[u][v] == theirs[u][v]
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_weighted_apsp_vs_scipy_dijkstra(seed):
+    g = uniform_weights(gnp(18, 0.3, seed=250 + seed), w_max=9,
+                        seed=250 + seed)
+    ours = np.array(weighted_apsp(g))
+    theirs = scipy_dijkstra(_to_scipy(g), directed=True)
+    assert np.allclose(ours, theirs)
+
+
+def test_negative_weights_vs_scipy_bellman_ford():
+    g = negative_safe_weights(gnp(14, 0.3, seed=260), w_max=7, seed=260)
+    ours = np.array(weighted_apsp(g))
+    theirs = scipy_bellman_ford(_to_scipy(g), directed=True)
+    assert np.allclose(ours, theirs)
+
+
+def test_floyd_warshall_agrees_with_dijkstra_oracle():
+    g = uniform_weights(gnp(16, 0.35, seed=270), w_max=6, seed=270)
+    assert np.allclose(np.array(floyd_warshall(g)),
+                       np.array(weighted_apsp(g)))
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_hopcroft_karp_vs_networkx(seed):
+    g = random_bipartite(7, 8, 0.3, seed=280 + seed)
+    ours = hopcroft_karp(g)
+    left, _right = g.is_bipartite()
+    theirs = nx.bipartite.maximum_matching(_to_nx(g), top_nodes=left)
+    # networkx returns a dict double-counting each edge.
+    assert len(ours) == len(theirs) // 2

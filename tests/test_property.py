@@ -1,0 +1,200 @@
+"""Property-based tests (hypothesis) on the core data structures and
+invariants: metrics algebra, payload sizing, transport delivery,
+aggregation idempotence, decomposition partitions, and end-to-end BFS
+correctness on random graphs."""
+
+import math
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.reference import bfs_distances, unweighted_apsp
+from repro.congest import Metrics, payload_words, run_machines
+from repro.congest.metrics import undirected
+from repro.core.aggregation import check_idempotent
+from repro.decomposition import build_baswana_sen, run_mpx, verify_hierarchy
+from repro.graphs import from_edges, gnp
+from repro.primitives import (
+    BFSMachine,
+    Packet,
+    aggregate_keyed_min,
+    route_packets,
+)
+
+settings.register_profile(
+    "repro", deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large])
+settings.load_profile("repro")
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+@st.composite
+def connected_graphs(draw, max_n: int = 18):
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    p = draw(st.floats(min_value=0.05, max_value=0.6))
+    return gnp(n, p, seed=seed)
+
+
+payloads = st.recursive(
+    st.one_of(st.integers(-1000, 1000), st.booleans(),
+              st.text(max_size=4), st.none()),
+    lambda children: st.one_of(
+        st.tuples(children, children),
+        st.lists(children, max_size=3),
+        st.dictionaries(st.integers(0, 9), children, max_size=3)),
+    max_leaves=8)
+
+
+# ----------------------------------------------------------------------
+# payload_words
+# ----------------------------------------------------------------------
+
+@given(payloads)
+def test_payload_words_nonnegative_and_stable(p):
+    w = payload_words(p)
+    assert w >= 0
+    assert payload_words(p) == w  # deterministic
+
+
+@given(payloads, payloads)
+def test_payload_words_subadditive_for_tuples(a, b):
+    combined = payload_words((a, b))
+    assert combined <= payload_words(a) + payload_words(b) + 1
+    assert combined >= max(payload_words(a), payload_words(b))
+
+
+# ----------------------------------------------------------------------
+# Metrics algebra
+# ----------------------------------------------------------------------
+
+@given(st.lists(st.tuples(st.integers(0, 5), st.integers(0, 5),
+                          st.integers(1, 4)), max_size=30))
+def test_metrics_delta_inverts_merge(sends):
+    m = Metrics()
+    for u, v, w in sends:
+        if u != v:
+            m.record_send(u, v, w)
+    snap = m.snapshot()
+    extra = [(1, 2, 3), (0, 4, 1)]
+    for u, v, w in extra:
+        m.record_send(u, v, w)
+    delta = m.delta_since(snap)
+    assert delta.messages == len(extra)
+    restored = snap.snapshot()
+    restored.merge(delta)
+    assert restored.messages == m.messages
+    assert restored.words == m.words
+    assert restored.edge_congestion == m.edge_congestion
+
+
+@given(st.integers(0, 3), st.integers(0, 3))
+def test_undirected_key_symmetric(u, v):
+    assert undirected(u, v) == undirected(v, u)
+
+
+# ----------------------------------------------------------------------
+# Aggregation (Definition 3.1)
+# ----------------------------------------------------------------------
+
+bfs_messages = st.lists(
+    st.tuples(st.integers(0, 9),
+              st.dictionaries(st.integers(0, 5),
+                              st.tuples(st.integers(0, 20),
+                                        st.integers(0, 9)),
+                              min_size=1, max_size=4)),
+    min_size=0, max_size=8)
+
+
+@given(bfs_messages)
+def test_keyed_min_aggregation_idempotent(messages):
+    assert check_idempotent(aggregate_keyed_min, messages)
+
+
+@given(bfs_messages)
+def test_keyed_min_keeps_minima(messages):
+    merged = aggregate_keyed_min(messages)
+    seen = {}
+    for _src, payload in messages:
+        for key, record in payload.items():
+            if key not in seen or record < seen[key]:
+                seen[key] = record
+    if not messages:
+        assert merged == []
+    else:
+        assert merged[0][1] == seen
+
+
+@given(bfs_messages)
+def test_keyed_min_order_invariant(messages):
+    forward = aggregate_keyed_min(messages)
+    backward = aggregate_keyed_min(list(reversed(messages)))
+    assert forward == backward
+
+
+# ----------------------------------------------------------------------
+# Transport
+# ----------------------------------------------------------------------
+
+@given(connected_graphs(max_n=12), st.integers(0, 10_000),
+       st.integers(1, 12))
+def test_transport_delivers_every_packet(g, seed, n_packets):
+    import random
+    rng = random.Random(seed)
+    apsp = unweighted_apsp(g)
+    packets = []
+    for i in range(n_packets):
+        a = rng.randrange(g.n)
+        b = rng.randrange(g.n)
+        # Build a shortest path a -> b.
+        path = [a]
+        while path[-1] != b:
+            cur = path[-1]
+            nxt = min(u for u in g.neighbors(cur)
+                      if apsp[u][b] == apsp[cur][b] - 1)
+            path.append(nxt)
+        packets.append(Packet(path=tuple(path), payload=("p", i)))
+    deliveries, metrics = route_packets(g, packets)
+    assert len(deliveries) == n_packets
+    assert metrics.messages == sum(len(p.path) - 1 for p in packets)
+    got = sorted(d.payload[1] for d in deliveries)
+    assert got == list(range(n_packets))
+
+
+# ----------------------------------------------------------------------
+# Decompositions
+# ----------------------------------------------------------------------
+
+@given(connected_graphs(max_n=16), st.integers(0, 500))
+def test_mpx_is_partition_with_connected_trees(g, seed):
+    clustering = run_mpx(g, beta=0.5, seed=seed)
+    assert set(clustering.center_of) == set(g.nodes())
+    for v in g.nodes():
+        p = clustering.parent[v]
+        if p is not None:
+            assert p in g.neighbors(v)
+            assert clustering.center_of[p] == clustering.center_of[v]
+
+
+@given(connected_graphs(max_n=14), st.sampled_from([1.0, 0.5, 0.34]),
+       st.integers(0, 200))
+def test_baswana_sen_properties_random(g, eps, seed):
+    h = build_baswana_sen(g, eps, seed=seed)
+    verify_hierarchy(g, h)
+
+
+# ----------------------------------------------------------------------
+# End-to-end BFS
+# ----------------------------------------------------------------------
+
+@given(connected_graphs(max_n=14), st.integers(0, 100))
+def test_bfs_machine_matches_reference_random(g, seed):
+    root = seed % g.n
+    execution = run_machines(g, lambda info: BFSMachine(info, root=root),
+                             seed=seed)
+    ref = bfs_distances(g, root)
+    for v in g.nodes():
+        assert execution.outputs[v][0] == ref[v]

@@ -1,0 +1,64 @@
+"""Execution tracing: event capture, filtering, and rendering."""
+
+from repro.congest import Tracer, format_trace, run_machines
+from repro.congest.tracing import TraceEvent
+from repro.graphs import path
+from repro.primitives import BFSMachine
+
+
+def _run_traced(**kwargs):
+    tracer = Tracer(**kwargs)
+    g = path(4)
+    run_machines(g, lambda info: BFSMachine(info, root=0), tracer=tracer)
+    return tracer
+
+
+def test_trace_captures_all_sends():
+    tracer = _run_traced()
+    # Each node broadcasts once: total messages = sum of degrees = 2m.
+    assert len(tracer.sends()) == 2 * 3
+    rounds = tracer.rounds()
+    # The wavefront: node 0 sends in round 1, node 1 in round 2, ...
+    assert any(e.node == 0 for e in rounds[1])
+    assert any(e.node == 3 for e in rounds[4])
+
+
+def test_trace_halts_recorded():
+    tracer = _run_traced()
+    halts = [e for e in tracer.events if e.kind == "halt"]
+    assert {e.node for e in halts} == {0, 1, 2, 3}
+    by_node = {e.node: e.payload for e in halts}
+    assert by_node[3] == (3, 2)
+
+
+def test_trace_node_filter():
+    tracer = _run_traced(node_filter=lambda v: v == 2)
+    assert all(2 in (e.node, e.peer) for e in tracer.sends())
+
+
+def test_trace_max_events_cap():
+    tracer = _run_traced(max_events=2)
+    assert len(tracer.events) == 2
+
+
+def test_messages_between():
+    tracer = _run_traced()
+    between = tracer.messages_between(1, 2)
+    # 1 broadcasts to 2 once, 2 broadcasts to 1 once.
+    assert len(between) == 2
+
+
+def test_format_trace_readable():
+    tracer = _run_traced()
+    text = format_trace(tracer)
+    assert "round 1:" in text
+    assert "->" in text
+    assert "halts" in text
+    short = format_trace(tracer, limit=1)
+    assert "more)" in short
+
+
+def test_trace_event_dataclass():
+    e = TraceEvent(round=3, kind="send", node=1, peer=2, payload="x")
+    assert (e.round, e.kind, e.node, e.peer, e.payload) == \
+        (3, "send", 1, 2, "x")
