@@ -1,0 +1,34 @@
+"""E14 -- the scenario matrix: every regime, every binding, one table.
+
+Iterates the full scenario registry through the differential-oracle
+harness at tier-1 sizes: per cell, the simulator output must equal the
+sequential oracle and the metered cost must sit inside the declared
+complexity envelope.  The table doubles as the regime-coverage record:
+every paper regime named in the catalog shows up as a row."""
+
+from conftest import run_once
+
+from repro.analysis import print_table, record_extra_info
+from repro.scenarios import scenario_names
+from repro.testing import summarize, sweep
+
+
+def _matrix():
+    return sweep()  # all scenarios x bindings at tier-1 sizes
+
+
+def test_e14_scenario_matrix(benchmark):
+    records = run_once(benchmark, _matrix)
+    rows = [(r.scenario, r.algorithm, r.n, r.m,
+             r.metrics["rounds"], r.metrics["messages"],
+             f"{r.metrics['messages'] / r.envelope['max_messages']:.3f}",
+             "pass" if r.passed else "FAIL")
+            for r in records]
+    table = print_table(
+        ["scenario", "algorithm", "n", "m", "rounds", "messages",
+         "msg/envelope", "verdict"],
+        rows, title="E14: differential-oracle scenario matrix")
+    stats = summarize(records)
+    assert stats["failed"] == 0, "\n".join(stats["failures"])
+    assert len({r.scenario for r in records}) == len(scenario_names())
+    record_extra_info(benchmark, table, cells=stats["cells"])

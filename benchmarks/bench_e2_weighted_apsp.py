@@ -15,13 +15,15 @@ from repro.analysis import fit_exponent, print_table, record_extra_info
 from repro.baselines.apsp_direct import apsp_direct_weighted
 from repro.baselines.reference import weighted_apsp as ref_apsp
 from repro.core import weighted_apsp
-from repro.graphs import gnp, uniform_weights
+from repro.scenarios import get_scenario
+
+SCENARIO = get_scenario("dense-gnp-weighted")
 
 
 def _sweep():
     rows = []
     for n in (12, 16, 24, 32):
-        g = uniform_weights(gnp(n, 0.5, seed=n), w_max=8, seed=n)
+        g = SCENARIO.graph(n, seed=n)
         sim = weighted_apsp(g, seed=n)
         direct = apsp_direct_weighted(g, seed=n)
         ref = ref_apsp(g)

@@ -13,13 +13,15 @@ from conftest import run_once
 from repro.analysis import print_table, record_extra_info
 from repro.baselines.reference import maximum_matching_size
 from repro.core import maximum_matching, maximum_matching_direct
-from repro.graphs import random_bipartite
+from repro.scenarios import get_scenario
+
+SCENARIO = get_scenario("bipartite-balanced")
 
 
 def _sweep():
     rows = []
     for half in (6, 9, 12, 16):
-        g = random_bipartite(half, half, 0.4, seed=half)
+        g = SCENARIO.graph(2 * half, seed=half)
         n = g.n
         direct = maximum_matching_direct(g, seed=half)
         opt = maximum_matching_size(g)
@@ -32,7 +34,7 @@ def _sweep():
 
 
 def _simulated_vs_direct():
-    g = random_bipartite(8, 8, 0.5, seed=3)
+    g = SCENARIO.graph(16, seed=3)
     direct = maximum_matching_direct(g, seed=5)
     sim = maximum_matching(g, seed=5)
     assert sim.size == direct.size == maximum_matching_size(g)

@@ -1,0 +1,76 @@
+"""Regenerate BENCH_simulator_fastpath.json: round-loop wall-clock on
+the dense gnp scenario (n=200, p=0.5), vectorized fast path vs. the
+scalar per-edge path (the seed implementation, kept selectable via
+``fast_path=False``).
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/fastpath_timing.py
+
+The two workloads are the broadcast-heavy machines the profile showed
+dominated by per-destination delivery: a single-source BFS flood and
+Luby MIS.  Outputs and all meters are asserted identical between the
+paths before timing.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import platform
+import time
+
+from repro.congest.machine import run_machines
+from repro.graphs import gnp
+from repro.primitives import BFSMachine, LubyMISMachine
+
+WORKLOADS = [
+    ("bfs_flood", lambda info: BFSMachine(info, root=0)),
+    ("luby_mis", LubyMISMachine),
+]
+
+
+def best_of(fn, reps: int = 5) -> float:
+    times = []
+    for _ in range(reps):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return min(times)
+
+
+def main() -> int:
+    graph = gnp(200, 0.5, seed=7)
+    entry = {
+        "benchmark": "simulator_round_loop_fastpath",
+        "scenario": "dense gnp (n=200, p=0.5, seed=7)",
+        "graph": {"n": graph.n, "m": graph.m},
+        "python": platform.python_version(),
+        "timings_seconds": {},
+        "speedup": {},
+    }
+    for name, factory in WORKLOADS:
+        fast = run_machines(graph, factory, seed=7, fast_path=True)
+        slow = run_machines(graph, factory, seed=7, fast_path=False)
+        assert fast.outputs == slow.outputs
+        assert fast.metrics.as_dict() == slow.metrics.as_dict()
+        assert fast.metrics.edge_congestion == slow.metrics.edge_congestion
+        t_fast = best_of(lambda: run_machines(graph, factory, seed=7))
+        t_slow = best_of(
+            lambda: run_machines(graph, factory, seed=7, fast_path=False))
+        entry["timings_seconds"][name] = {
+            "seed_scalar_path": round(t_slow, 4),
+            "vectorized_fast_path": round(t_fast, 4),
+        }
+        entry["speedup"][name] = round(t_slow / t_fast, 2)
+        print(f"{name}: scalar {t_slow:.4f}s  fast {t_fast:.4f}s  "
+              f"({t_slow / t_fast:.2f}x)")
+    out = pathlib.Path(__file__).resolve().parent.parent / \
+        "BENCH_simulator_fastpath.json"
+    out.write_text(json.dumps(entry, indent=2) + "\n")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,44 @@
+"""Sweep the scenario matrix and summarize the JSON records.
+
+The same flow as ``repro scenarios sweep --json`` piped into a summary:
+run a few scenarios across two sizes, serialize every differential
+record to JSON (what a dashboard or CI artifact would consume), then
+aggregate the JSON back into a per-scenario cost table.
+"""
+
+import json
+
+from repro.analysis import format_table
+from repro.testing import summarize, sweep
+
+SCENARIOS = ["dense-gnp", "path", "expander-regular", "bipartite-balanced"]
+SIZES = [12, 16]
+
+
+def main() -> int:
+    records = sweep(SCENARIOS, sizes=SIZES)
+
+    # Serialize exactly what `repro scenarios sweep --json` emits ...
+    payload = json.dumps([r.as_dict() for r in records])
+    print(f"serialized {len(records)} differential records "
+          f"({len(payload)} bytes of JSON)")
+
+    # ... and consume it back as a plain summary table.
+    decoded = json.loads(payload)
+    rows = []
+    for rec in decoded:
+        rows.append((rec["scenario"], rec["algorithm"], rec["n"], rec["m"],
+                     rec["metrics"]["rounds"], rec["metrics"]["messages"],
+                     "pass" if rec["passed"] else "FAIL"))
+    print(format_table(
+        ["scenario", "algorithm", "n", "m", "rounds", "messages", "verdict"],
+        rows, title="scenario sweep summary"))
+
+    stats = summarize(records)
+    print(f"\n{stats['passed']}/{stats['cells']} cells passed")
+    assert stats["failed"] == 0, stats["failures"]
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

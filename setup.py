@@ -1,0 +1,10 @@
+"""Setuptools shim: all metadata lives in pyproject.toml.
+
+Kept so ``pip install -e . --no-build-isolation --no-use-pep517`` works
+on environments whose setuptools predates PEP 660 editable wheels (or
+that lack the ``wheel`` package); see tests/README.md.
+"""
+
+from setuptools import setup
+
+setup()

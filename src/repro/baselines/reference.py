@@ -159,13 +159,22 @@ def hopcroft_karp(g: Graph) -> Set[Tuple[int, int]]:
         for v in g.neighbors(u):
             if v in visited:
                 continue
-            visited.add(v)
             w = match[v]
-            if w is None or (layer.get(w) == layer[u] + 1
-                             and try_augment(w, layer, visited)):
+            if w is None:
+                visited.add(v)
                 match[u] = v
                 match[v] = u
                 return True
+            # Mark v visited only on admissible edges (partner exactly one
+            # layer deeper).  Marking it on a rejected edge would let a
+            # failed deep exploration block the shortest augmenting path
+            # through v, leaving the phase loop spinning forever.
+            if layer.get(w) == layer[u] + 1:
+                visited.add(v)
+                if try_augment(w, layer, visited):
+                    match[u] = v
+                    match[v] = u
+                    return True
         return False
 
     while True:

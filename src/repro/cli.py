@@ -9,6 +9,9 @@ Examples
     python -m repro.cli matching --left 8 --right 9
     python -m repro.cli cover --n 32 --k 2 --w 2
     python -m repro.cli decompose --n 48 --eps 0.5
+    python -m repro.cli scenarios list
+    python -m repro.cli scenarios run dense-gnp --json
+    python -m repro.cli scenarios sweep --sizes 16 24 --json
 
 Each command prints the exact result summary plus the measured message
 and round costs; everything runs on the literal CONGEST simulator.
@@ -17,6 +20,7 @@ and round costs; everything runs on the literal CONGEST simulator.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -117,6 +121,56 @@ def _cmd_decompose(args: argparse.Namespace) -> int:
     return 0
 
 
+def _scenario_rows(records) -> List[tuple]:
+    return [(r.scenario, r.algorithm, r.n, r.m,
+             r.metrics["rounds"], r.metrics["messages"],
+             "pass" if r.passed else "FAIL")
+            for r in records]
+
+
+_SCENARIO_HEADERS = ["scenario", "algorithm", "n", "m", "rounds",
+                     "messages", "verdict"]
+
+
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    from repro.scenarios import all_scenarios
+    from repro.testing import run_scenario, summarize, sweep
+
+    if args.action == "list":
+        scenarios = all_scenarios()
+        if args.json:
+            print(json.dumps([s.as_dict() for s in scenarios], indent=2))
+        else:
+            rows = [(s.name, s.regime, ",".join(s.algorithms),
+                     s.default_size, "/".join(str(x) for x in s.sizes))
+                    for s in scenarios]
+            print(format_table(
+                ["name", "regime", "algorithms", "tier1-n", "sweep"], rows))
+            print(f"\n{len(scenarios)} scenarios")
+        return 0
+
+    try:
+        if args.action == "run":
+            records = run_scenario(args.name, size=args.size,
+                                   algorithm=args.algorithm, seed=args.seed)
+        else:  # sweep
+            records = sweep(args.names, sizes=args.sizes, seed=args.seed)
+    except (KeyError, ValueError) as exc:
+        message = exc.args[0] if exc.args else str(exc)
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+
+    if args.json:
+        print(json.dumps([r.as_dict() for r in records], indent=2))
+    else:
+        print(format_table(_SCENARIO_HEADERS, _scenario_rows(records)))
+        stats = summarize(records)
+        print(f"\n{stats['passed']}/{stats['cells']} cells passed")
+        for failure in stats["failures"]:
+            print(f"  FAIL {failure}")
+    return 0 if all(r.passed for r in records) else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description=__doc__,
@@ -157,13 +211,40 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--p", type=float, default=0.25)
     p.add_argument("--eps", type=float, default=0.5)
     p.set_defaults(func=_cmd_decompose)
+
+    p = sub.add_parser(
+        "scenarios",
+        help="the named scenario matrix: list / run / sweep")
+    scen_sub = p.add_subparsers(dest="action", required=True)
+
+    q = scen_sub.add_parser("list", help="show every registered scenario")
+    q.add_argument("--json", action="store_true")
+    q.set_defaults(func=_cmd_scenarios)
+
+    q = scen_sub.add_parser(
+        "run", help="run one scenario through the differential oracles")
+    q.add_argument("name")
+    q.add_argument("--size", type=int, default=None)
+    q.add_argument("--algorithm", default=None)
+    q.add_argument("--json", action="store_true")
+    q.set_defaults(func=_cmd_scenarios)
+
+    q = scen_sub.add_parser(
+        "sweep", help="run the scenario x algorithm x size matrix")
+    q.add_argument("--names", nargs="+", default=None)
+    q.add_argument("--sizes", type=int, nargs="+", default=None)
+    q.add_argument("--json", action="store_true")
+    q.set_defaults(func=_cmd_scenarios)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:  # e.g. `repro scenarios list | head`
+        return 0
 
 
 if __name__ == "__main__":

@@ -52,6 +52,20 @@ class Metrics:
         """Record one broadcast operation (message costs counted separately)."""
         self.broadcasts += 1
 
+    def record_broadcast_sends(self, edge_keys, size_words: int) -> None:
+        """Bulk-record one broadcast's messages: one per incident edge.
+
+        Equivalent to ``record_send`` once per edge key with the same
+        ``size_words``; folding the counter updates into one call is what
+        makes the network's batched broadcast path cheap.
+        """
+        k = len(edge_keys)
+        self.messages += k
+        self.words += size_words * k
+        if k and size_words > self.max_message_words:
+            self.max_message_words = size_words
+        self.edge_congestion.update(edge_keys)
+
     @property
     def max_edge_congestion(self) -> int:
         """Maximum number of messages carried by any single edge."""

@@ -8,12 +8,15 @@ from repro.graphs.generators import (
     dumbbell,
     gnp,
     grid,
+    near_disconnected,
     path,
     random_bipartite,
+    random_regular,
     random_tree,
 )
 from repro.graphs.weights import (
     asymmetric_weights,
+    heavy_tailed_weights,
     negative_safe_weights,
     poly_range_weights,
     uniform_weights,
@@ -21,7 +24,8 @@ from repro.graphs.weights import (
 
 __all__ = [
     "EdgeKey", "Graph", "augmenting_chain", "complete", "cycle",
-    "dumbbell", "edge_key", "from_edges", "gnp", "grid", "path",
-    "random_bipartite", "random_tree", "asymmetric_weights",
+    "dumbbell", "edge_key", "from_edges", "gnp", "grid",
+    "near_disconnected", "path", "random_bipartite", "random_regular",
+    "random_tree", "asymmetric_weights", "heavy_tailed_weights",
     "negative_safe_weights", "poly_range_weights", "uniform_weights",
 ]

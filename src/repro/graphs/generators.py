@@ -15,6 +15,11 @@ dilation).  The generators below cover:
 * ``random_bipartite`` -- inputs for the maximum-matching application.
 * ``barbell_matching`` -- bipartite graphs with long augmenting paths,
   adversarial for augmenting-path matching algorithms.
+* ``random_regular`` -- d-regular expander-like graphs: low diameter at
+  low density, the regime where round- and message-optimal algorithms
+  are closest.
+* ``near_disconnected`` -- dense islands with no organic cross edges,
+  connected only by the random patch-up: maximally uneven congestion.
 
 All generators are deterministic given ``seed`` and always return a
 *connected* graph (they add a random spanning-path patch-up when the raw
@@ -187,6 +192,68 @@ def random_bipartite(left: int, right: int, p: float, seed: int = 0) -> Graph:
     if not g.is_connected():  # pragma: no cover - defensive
         raise AssertionError("bipartite generator produced a disconnected graph")
     return g
+
+
+def random_regular(n: int, d: int, seed: int = 0) -> Graph:
+    """An (almost) d-regular graph via stub matching, patched connected.
+
+    Repeatedly pairs a shuffled multiset of stubs (each node appears d
+    times), discarding self-loops and duplicate edges; a handful of
+    nodes may end up below degree d when their leftover stubs only match
+    forbidden partners.  For d >= 3 the pairing model is an expander
+    w.h.p. -- low diameter at low density, complementing the dense and
+    high-diameter families above.
+    """
+    if d >= n:
+        raise ValueError("random_regular requires d < n")
+    rng = _rng(seed)
+    edges: set = set()
+    stubs = [v for v in range(n) for _ in range(d)]
+    for _ in range(10):  # rounds of re-pairing the leftover stubs
+        rng.shuffle(stubs)
+        leftover = []
+        for a, b in zip(stubs[0::2], stubs[1::2]):
+            u, v = int(min(a, b)), int(max(a, b))
+            if u == v or (u, v) in edges:
+                leftover.extend((a, b))
+            else:
+                edges.add((u, v))
+        if len(stubs) % 2:
+            leftover.append(stubs[-1])
+        if not leftover or len(leftover) == len(stubs):
+            break
+        stubs = leftover
+    _connect(n, edges, rng)
+    return from_edges(n, edges, name=f"random_regular(n={n},d={d})")
+
+
+def near_disconnected(n: int, islands: int = 4, p_intra: float = 0.6,
+                      seed: int = 0) -> Graph:
+    """Dense islands with no organic cross edges, patched connected.
+
+    Splits the nodes into ``islands`` equal blocks, samples a dense
+    G(block, p_intra) inside each, and leaves connectivity entirely to
+    the random spanning patch-up -- the extreme case of the "patch a
+    disconnected sample" policy every generator here applies.  The few
+    patch edges carry all inter-island traffic, which makes per-edge
+    congestion maximally uneven (the regime the congestion-smoothing
+    lemma targets).
+    """
+    if islands < 2 or islands > n:
+        raise ValueError("near_disconnected requires 2 <= islands <= n")
+    rng = _rng(seed)
+    bounds = [round(i * n / islands) for i in range(islands + 1)]
+    edges: set = set()
+    for lo, hi in zip(bounds, bounds[1:]):
+        block = range(lo, hi)
+        for u in block:
+            for v in range(u + 1, hi):
+                if rng.random() < p_intra:
+                    edges.add((u, v))
+    _connect(n, edges, rng)
+    return from_edges(
+        n, edges,
+        name=f"near_disconnected(n={n},islands={islands},p={p_intra})")
 
 
 def augmenting_chain(k: int) -> Graph:

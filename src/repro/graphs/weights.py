@@ -11,6 +11,9 @@ polynomial in n" and "even negative" weights.  We provide:
   reverse), exercising the "even negative weights" clause.
 * ``asymmetric_weights`` -- per-direction weights, exercising the "even
   on directed graphs" clause.
+* ``heavy_tailed_weights`` -- Pareto-tailed integer weights: a few edges
+  are orders of magnitude heavier than the rest, so weighted shortest
+  paths route around them and hop-count intuition breaks down.
 """
 
 from __future__ import annotations
@@ -61,6 +64,24 @@ def negative_safe_weights(g: Graph, w_max: int = 16, seed: int = 0) -> Graph:
         weights[(u, v)] = w - int(phi[u]) + int(phi[v])
         weights[(v, u)] = w - int(phi[v]) + int(phi[u])
     return Graph(adj=g.adj, weights=weights, name=g.name + "+negsafe")
+
+
+def heavy_tailed_weights(g: Graph, alpha: float = 1.2, seed: int = 0) -> Graph:
+    """Pareto(alpha) integer weights, capped at the polynomial range n^3.
+
+    Small alpha makes the tail heavy (alpha <= 2 has infinite variance):
+    most edges cost 1-2 while a few cost up to the cap, staying within
+    the paper's "polynomial in n" weight range.
+    """
+    rng = _rng(seed)
+    cap = max(4, g.n ** 3)
+    weights: Dict[EdgeKey, float] = {}
+    for u, v in g.edges():
+        w = min(cap, 1 + int(rng.pareto(alpha)))
+        weights[(u, v)] = w
+        weights[(v, u)] = w
+    return Graph(adj=g.adj, weights=weights,
+                 name=g.name + f"+pareto(a={alpha})")
 
 
 def asymmetric_weights(g: Graph, w_max: int = 16, seed: int = 0) -> Graph:

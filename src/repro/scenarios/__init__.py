@@ -1,0 +1,42 @@
+"""First-class scenarios: the named workload matrix every consumer draws on.
+
+The paper's claims are regime-dependent -- dense vs. sparse, low vs.
+high diameter, unweighted vs. weighted, benign vs. adversarial -- so
+exercising each algorithm on one ad-hoc graph per test undersamples the
+claim space.  This package is the single source of workloads:
+
+* :mod:`repro.scenarios.registry` -- the :class:`Scenario` record and
+  the registry API (:func:`get_scenario`, :func:`all_scenarios`,
+  :func:`select`);
+* :mod:`repro.scenarios.catalog` -- the ~20 named entries, each mapped
+  to the paper regime it probes (see its docstring for the full table);
+* :mod:`repro.scenarios.bindings` -- the algorithm families a scenario
+  can be run under, each with a sequential oracle and a metered
+  complexity envelope.
+
+Consumers: the :mod:`repro.testing` differential-oracle harness, the
+``repro scenarios`` CLI (list / run / sweep), and the benchmark suite.
+"""
+
+from repro.scenarios.registry import (
+    Scenario,
+    all_scenarios,
+    get_scenario,
+    register,
+    scenario_names,
+    select,
+)
+from repro.scenarios.bindings import (
+    BINDINGS,
+    Binding,
+    BindingResult,
+    Envelope,
+    get_binding,
+)
+from repro.scenarios import catalog  # noqa: F401  (registers the entries)
+
+__all__ = [
+    "BINDINGS", "Binding", "BindingResult", "Envelope", "Scenario",
+    "all_scenarios", "get_binding", "get_scenario", "register",
+    "scenario_names", "select",
+]

@@ -1,0 +1,270 @@
+"""The named scenario catalog: one entry per paper regime worth probing.
+
+Regime map (scenario -> what it stresses in conf_podc_DufoulonPPP025):
+
+========================  ==================================================
+scenario                  paper regime
+========================  ==================================================
+dense-gnp                 m = Theta(n^2): where Theorem 2.1's Õ(n²)-message
+                          simulation beats the Theta(n*m) baseline by the
+                          largest factor (the paper's headline regime)
+dense-gnp-weighted        Theorem 1.1 on dense positive integer weights
+dense-gnp-negative        the "even negative weights" clause (Johnson-style
+                          negative-safe reweighting, no negative cycles)
+dense-gnp-asymmetric      the "even on directed graphs" clause (independent
+                          per-direction weights)
+heavy-tail-gnp            Pareto-tailed weights: shortest paths route around
+                          heavy edges, breaking hop-count intuition
+complete                  the extreme dense case from the introduction
+complete-weighted         K_n with weights polynomial in n (the paper's
+                          stated weight range)
+path                      diameter n-1: worst case for dilation, where
+                          round-optimal baselines win rounds
+cycle                     high diameter with two disjoint routes per pair
+grid                      moderate diameter Theta(sqrt n), degree <= 4
+grid-weighted             weighted APSP at moderate diameter
+random-tree               minimally sparse connected graphs (m = n-1)
+sparse-gnp                m = Theta(n): message-optimality matters least;
+                          regression guard for the sparse end
+dumbbell                  the classical CONGEST lower-bound shape: two
+                          cliques, one bridge that must carry everything
+dumbbell-heavy            the bridge additionally carries heavy weights
+expander-regular          d-regular expander-like: low diameter at low
+                          density, round/message optima closest
+expander-weighted         weighted APSP on expanders
+patched-islands           dense islands connected only by the random
+                          patch-up: maximally uneven per-edge congestion
+                          (the congestion-smoothing regime, Lemma 3.8)
+patched-islands-heavy     uneven congestion plus heavy-tailed weights
+bipartite-balanced        Corollary 2.8 workhorse: balanced random
+                          bipartite maximum matching
+bipartite-skewed          unbalanced sides: matching bounded by the small
+                          side
+bipartite-sparse          near-tree bipartite: long augmenting paths
+augmenting-chain          the worst case: a single length-(2k+1)
+                          augmentation (stress for Corollary 2.8's phases)
+========================  ==================================================
+
+Every entry is registered at import time; sizes are chosen so the
+tier-1 differential matrix stays fast while ``sizes`` gives benchmarks
+and ``--scenario-size`` a meaningful sweep.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.graphs import (
+    augmenting_chain,
+    asymmetric_weights,
+    complete,
+    cycle,
+    dumbbell,
+    gnp,
+    grid,
+    heavy_tailed_weights,
+    near_disconnected,
+    negative_safe_weights,
+    path,
+    poly_range_weights,
+    random_bipartite,
+    random_regular,
+    random_tree,
+    uniform_weights,
+)
+from repro.scenarios.registry import Scenario, register
+
+
+def _grid_build(size: int, seed: int):
+    rows = max(2, int(math.isqrt(size)))
+    cols = max(2, round(size / rows))
+    return grid(rows, cols)
+
+
+def _dumbbell_build(size: int, seed: int):
+    blob = max(3, size // 3)
+    return dumbbell(blob, max(1, size - 2 * blob), seed=seed)
+
+
+# -- dense regime -----------------------------------------------------------
+
+register(Scenario(
+    name="dense-gnp", regime="dense, m=Theta(n^2)",
+    description="Erdos-Renyi G(n, 1/2): the paper's headline dense case",
+    build=lambda size, seed: gnp(size, 0.5, seed=seed),
+    algorithms=("apsp-unweighted", "bfs-collection", "cover"),
+    default_size=14, sizes=(14, 20, 28, 40), tags=("dense",)))
+
+register(Scenario(
+    name="dense-gnp-weighted", regime="dense + positive weights",
+    description="G(n, 1/2) with uniform integer weights in [1, 8]",
+    build=lambda size, seed: uniform_weights(
+        gnp(size, 0.5, seed=seed), w_max=8, seed=seed + 1),
+    algorithms=("apsp-weighted",), weighted=True,
+    default_size=12, sizes=(12, 16, 24), tags=("dense", "weighted")))
+
+register(Scenario(
+    name="dense-gnp-negative", regime="negative weights clause",
+    description="G(n, 1/2) with negative-safe (Johnson-reweighted) weights",
+    build=lambda size, seed: negative_safe_weights(
+        gnp(size, 0.5, seed=seed), w_max=8, seed=seed + 1),
+    algorithms=("apsp-weighted",), weighted=True,
+    default_size=12, sizes=(12, 16, 24), tags=("dense", "weighted")))
+
+register(Scenario(
+    name="dense-gnp-asymmetric", regime="directed weights clause",
+    description="G(n, 1/2) with independent per-direction weights",
+    build=lambda size, seed: asymmetric_weights(
+        gnp(size, 0.5, seed=seed), w_max=8, seed=seed + 1),
+    algorithms=("apsp-weighted",), weighted=True,
+    default_size=12, sizes=(12, 16, 24), tags=("dense", "weighted")))
+
+register(Scenario(
+    name="heavy-tail-gnp", regime="heavy-tailed weights",
+    description="G(n, 0.4) with Pareto(1.2) weights capped at n^3",
+    build=lambda size, seed: heavy_tailed_weights(
+        gnp(size, 0.4, seed=seed), alpha=1.2, seed=seed + 1),
+    algorithms=("apsp-weighted",), weighted=True,
+    default_size=12, sizes=(12, 16, 24), tags=("weighted", "adversarial")))
+
+register(Scenario(
+    name="complete", regime="extreme dense",
+    description="the complete graph K_n",
+    build=lambda size, seed: complete(size),
+    algorithms=("apsp-unweighted", "cover"), randomized=False,
+    default_size=12, sizes=(12, 16, 24, 32), tags=("dense",)))
+
+register(Scenario(
+    name="complete-weighted", regime="dense + polynomial weight range",
+    description="K_n with integer weights in [1, n^2]",
+    build=lambda size, seed: poly_range_weights(
+        complete(size), exponent=2.0, seed=seed + 1),
+    algorithms=("apsp-weighted",), weighted=True,
+    default_size=10, sizes=(10, 14, 20), tags=("dense", "weighted")))
+
+# -- high-diameter / sparse regime -----------------------------------------
+
+register(Scenario(
+    name="path", regime="maximum diameter",
+    description="the path P_n: diameter n-1, worst case for dilation",
+    build=lambda size, seed: path(size),
+    algorithms=("apsp-unweighted", "bfs-collection"), randomized=False,
+    default_size=16, sizes=(16, 24, 40), tags=("sparse", "high-diameter")))
+
+register(Scenario(
+    name="cycle", regime="high diameter, 2-connected",
+    description="the cycle C_n",
+    build=lambda size, seed: cycle(size),
+    algorithms=("apsp-unweighted",), randomized=False,
+    default_size=16, sizes=(16, 24, 40), tags=("sparse", "high-diameter")))
+
+register(Scenario(
+    name="grid", regime="moderate diameter Theta(sqrt n)",
+    description="the near-square grid, degree <= 4",
+    build=_grid_build, algorithms=("apsp-unweighted", "bfs-collection"),
+    randomized=False, default_size=16, sizes=(16, 25, 36),
+    tags=("sparse", "high-diameter")))
+
+register(Scenario(
+    name="grid-weighted", regime="weighted, moderate diameter",
+    description="the grid with uniform integer weights in [1, 8]",
+    build=lambda size, seed: uniform_weights(
+        _grid_build(size, seed), w_max=8, seed=seed + 1),
+    algorithms=("apsp-weighted",), weighted=True,
+    default_size=12, sizes=(12, 16, 25), tags=("sparse", "weighted")))
+
+register(Scenario(
+    name="random-tree", regime="minimally sparse (m = n-1)",
+    description="a uniformly random labelled tree",
+    build=lambda size, seed: random_tree(size, seed=seed),
+    algorithms=("apsp-unweighted", "bfs-collection"),
+    default_size=14, sizes=(14, 20, 32), tags=("sparse",)))
+
+register(Scenario(
+    name="sparse-gnp", regime="sparse, m=Theta(n)",
+    description="G(n, 3/n): barely connected after patch-up",
+    build=lambda size, seed: gnp(size, min(0.95, 3.0 / size), seed=seed),
+    algorithms=("apsp-unweighted", "cover"),
+    default_size=18, sizes=(18, 28, 40), tags=("sparse",)))
+
+# -- lower-bound and adversarial shapes ------------------------------------
+
+register(Scenario(
+    name="dumbbell", regime="lower-bound shape: bottleneck bridge",
+    description="two K_{n/3} cliques joined by a path bridge",
+    build=_dumbbell_build, algorithms=("apsp-unweighted", "cover"),
+    randomized=False, default_size=14, sizes=(14, 20, 30),
+    tags=("adversarial", "dense")))
+
+register(Scenario(
+    name="dumbbell-heavy", regime="bottleneck bridge + heavy weights",
+    description="the dumbbell with Pareto(1.2) weights",
+    build=lambda size, seed: heavy_tailed_weights(
+        _dumbbell_build(size, seed), alpha=1.2, seed=seed + 1),
+    algorithms=("apsp-weighted",), weighted=True,
+    default_size=12, sizes=(12, 16, 24), tags=("adversarial", "weighted")))
+
+register(Scenario(
+    name="expander-regular", regime="expander: low diameter, low density",
+    description="random 6-regular graph (stub matching, patched)",
+    build=lambda size, seed: random_regular(size, 6, seed=seed),
+    algorithms=("apsp-unweighted", "bfs-collection", "cover"),
+    default_size=14, sizes=(14, 20, 32), tags=("expander",)))
+
+register(Scenario(
+    name="expander-weighted", regime="weighted expander",
+    description="random 6-regular graph with uniform weights in [1, 8]",
+    build=lambda size, seed: uniform_weights(
+        random_regular(size, 6, seed=seed), w_max=8, seed=seed + 1),
+    algorithms=("apsp-weighted",), weighted=True,
+    default_size=12, sizes=(12, 16, 24), tags=("expander", "weighted")))
+
+register(Scenario(
+    name="patched-islands", regime="near-disconnected, uneven congestion",
+    description="4 dense islands connected only by random patch edges",
+    build=lambda size, seed: near_disconnected(
+        size, islands=4, p_intra=0.6, seed=seed),
+    algorithms=("apsp-unweighted", "cover"),
+    default_size=16, sizes=(16, 24, 36), tags=("adversarial",)))
+
+register(Scenario(
+    name="patched-islands-heavy", regime="uneven congestion + heavy weights",
+    description="patched islands with Pareto(1.2) weights",
+    build=lambda size, seed: heavy_tailed_weights(
+        near_disconnected(size, islands=4, p_intra=0.6, seed=seed),
+        alpha=1.2, seed=seed + 1),
+    algorithms=("apsp-weighted",), weighted=True,
+    default_size=12, sizes=(12, 16, 24), tags=("adversarial", "weighted")))
+
+# -- bipartite matching -----------------------------------------------------
+
+register(Scenario(
+    name="bipartite-balanced", regime="matching: balanced sides",
+    description="random bipartite G(n/2 + n/2, 0.35)",
+    build=lambda size, seed: random_bipartite(
+        size // 2, size - size // 2, 0.35, seed=seed),
+    algorithms=("matching",), bipartite=True,
+    default_size=14, sizes=(14, 20, 28), tags=("matching",)))
+
+register(Scenario(
+    name="bipartite-skewed", regime="matching: skewed sides",
+    description="random bipartite G(n/3 + 2n/3, 0.3)",
+    build=lambda size, seed: random_bipartite(
+        size // 3, size - size // 3, 0.3, seed=seed),
+    algorithms=("matching",), bipartite=True,
+    default_size=14, sizes=(14, 20, 28), tags=("matching",)))
+
+register(Scenario(
+    name="bipartite-sparse", regime="matching: long augmenting paths",
+    description="near-tree random bipartite G(n/2 + n/2, 2.5/n)",
+    build=lambda size, seed: random_bipartite(
+        size // 2, size - size // 2, min(0.9, 2.5 / size), seed=seed),
+    algorithms=("matching",), bipartite=True,
+    default_size=14, sizes=(14, 20, 28), tags=("matching", "adversarial")))
+
+register(Scenario(
+    name="augmenting-chain", regime="matching: worst-case augmentation",
+    description="the path needing one length-(2k+1) augmenting path",
+    build=lambda size, seed: augmenting_chain(max(1, (size - 2) // 2)),
+    algorithms=("matching",), bipartite=True, randomized=False,
+    default_size=12, sizes=(12, 16, 24), tags=("matching", "adversarial")))

@@ -1,0 +1,119 @@
+"""The scenario registry: named, parameterized, seed-deterministic workloads.
+
+A :class:`Scenario` bundles everything a test, benchmark, or CLI run
+needs to exercise one regime of the paper's claims:
+
+* a topology family x weight scheme, as a ``build(size, seed)`` callable
+  that is fully deterministic given its arguments;
+* declared structural invariants (connected, bipartite where claimed,
+  size within tolerance of the requested size) that
+  ``tests/test_scenarios.py`` checks for every registered entry;
+* the algorithm bindings (see :mod:`repro.scenarios.bindings`) the
+  scenario is a meaningful input for, each carrying a sequential oracle
+  and a metered-complexity envelope;
+* a size sweep for benchmarks and the ``repro scenarios sweep`` command.
+
+Scenario seeds are derived with :func:`repro.congest.network.stable_seed`
+from ``(scenario name, size, caller seed)``, so two constructions of the
+same entry agree byte-for-byte across processes -- the precondition for
+the differential-oracle harness treating graphs as free to rebuild.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.congest.network import stable_seed
+from repro.graphs.graph import Graph
+
+Builder = Callable[[int, int], Graph]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named workload: topology x weights x sizes x algorithms."""
+
+    name: str
+    regime: str                 # the paper regime this entry probes
+    description: str
+    build: Builder              # (size, derived_seed) -> Graph
+    algorithms: Tuple[str, ...]  # binding names from repro.scenarios.bindings
+    default_size: int           # tier-1 size: small enough for every test run
+    sizes: Tuple[int, ...]      # sweep sizes for benchmarks / --scenario-size
+    weighted: bool = False
+    bipartite: bool = False     # invariant: the built graph is bipartite
+    randomized: bool = True     # False for closed-form families (K_n, P_n...)
+    size_tolerance: float = 0.25  # |g.n - size| <= tolerance * size + 2
+    envelope_slack: float = 1.0   # scenario-specific multiplier on envelopes
+    tags: Tuple[str, ...] = ()
+
+    def seed_for(self, size: int, seed: int = 0) -> int:
+        """The derived construction seed (stable across processes)."""
+        return stable_seed("scenario", self.name, size, seed)
+
+    def graph(self, size: Optional[int] = None, seed: int = 0) -> Graph:
+        """Build the scenario graph at ``size`` (default: tier-1 size)."""
+        size = self.default_size if size is None else size
+        if size < 3:
+            raise ValueError(
+                f"scenario size must be >= 3, got {size} "
+                f"(every family needs a nontrivial connected graph)")
+        return self.build(size, self.seed_for(size, seed))
+
+    def size_ok(self, size: int, n: int) -> bool:
+        """Whether a built graph's order honors the declared tolerance."""
+        return abs(n - size) <= self.size_tolerance * size + 2
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "regime": self.regime,
+            "description": self.description,
+            "algorithms": list(self.algorithms),
+            "default_size": self.default_size,
+            "sizes": list(self.sizes),
+            "weighted": self.weighted,
+            "bipartite": self.bipartite,
+            "tags": list(self.tags),
+        }
+
+
+_REGISTRY: Dict[str, Scenario] = {}
+
+
+def register(scenario: Scenario) -> Scenario:
+    """Add a scenario to the registry; duplicate names are a bug."""
+    if scenario.name in _REGISTRY:
+        raise ValueError(f"scenario {scenario.name!r} already registered")
+    _REGISTRY[scenario.name] = scenario
+    return scenario
+
+
+def get_scenario(name: str) -> Scenario:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown scenario {name!r}; known: {known}") from None
+
+
+def scenario_names() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+def all_scenarios() -> List[Scenario]:
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+def select(algorithm: Optional[str] = None,
+           tag: Optional[str] = None) -> List[Scenario]:
+    """Scenarios filtered by bound algorithm and/or tag."""
+    out = []
+    for scenario in all_scenarios():
+        if algorithm is not None and algorithm not in scenario.algorithms:
+            continue
+        if tag is not None and tag not in scenario.tags:
+            continue
+        out.append(scenario)
+    return out

@@ -1,0 +1,22 @@
+"""Reusable verification harnesses (differential oracles over scenarios).
+
+Import surface for tests, benchmarks, and the CLI:
+
+* :func:`run_differential` -- one scenario x algorithm cell;
+* :func:`run_scenario` -- one scenario under all of its bindings;
+* :func:`sweep` -- the whole matrix (optionally restricted);
+* :func:`summarize` -- aggregate verdicts for reporting.
+"""
+
+from repro.testing.differential import (
+    DifferentialRecord,
+    run_differential,
+    run_scenario,
+    summarize,
+    sweep,
+)
+
+__all__ = [
+    "DifferentialRecord", "run_differential", "run_scenario",
+    "summarize", "sweep",
+]

@@ -1,0 +1,150 @@
+"""The differential-oracle harness: simulator vs. sequential reference.
+
+For a scenario x algorithm binding this module builds the scenario
+graph, runs the distributed implementation on the literal CONGEST
+simulator, cross-checks the outputs against the independent sequential
+oracles in :mod:`repro.baselines.reference`, and checks the measured
+round/message costs against the binding's declared complexity envelope
+(scaled by the scenario's slack).  Everything is seed-deterministic, so
+a failing record reproduces exactly from its ``(scenario, algorithm,
+size, seed)`` coordinates.
+
+Consumers: ``tests/test_differential_oracles.py`` (one assertion per
+matrix cell), the ``repro scenarios run/sweep`` CLI (JSON records), and
+``benchmarks/bench_e14_scenarios.py`` (the matrix as a benchmark).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.scenarios import Scenario, all_scenarios, get_binding, get_scenario
+
+
+@dataclass
+class DifferentialRecord:
+    """One scenario x algorithm execution with its verdicts."""
+
+    scenario: str
+    algorithm: str
+    family: str
+    size: int
+    seed: int
+    n: int
+    m: int
+    ok: bool                       # outputs equal the sequential oracle
+    envelope_ok: bool              # measured cost within declared envelope
+    checks: Dict[str, bool]
+    metrics: Dict[str, int]
+    envelope: Dict[str, float]     # evaluated bounds (with slack applied)
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def passed(self) -> bool:
+        return self.ok and self.envelope_ok
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "algorithm": self.algorithm,
+            "family": self.family,
+            "size": self.size,
+            "seed": self.seed,
+            "n": self.n,
+            "m": self.m,
+            "ok": self.ok,
+            "envelope_ok": self.envelope_ok,
+            "passed": self.passed,
+            "checks": self.checks,
+            "metrics": self.metrics,
+            "envelope": self.envelope,
+            "detail": self.detail,
+        }
+
+    def failure_message(self) -> str:
+        """A reproducible description of what went wrong (or 'passed')."""
+        if self.passed:
+            return "passed"
+        parts = [f"{self.scenario} x {self.algorithm} "
+                 f"(size={self.size}, seed={self.seed}, n={self.n}, "
+                 f"m={self.m})"]
+        failed = [name for name, good in self.checks.items() if not good]
+        if failed:
+            parts.append(f"failed checks: {', '.join(failed)}")
+        if not self.envelope_ok:
+            parts.append(
+                f"envelope violated: rounds {self.metrics['rounds']} vs "
+                f"{self.envelope['max_rounds']:.0f}, messages "
+                f"{self.metrics['messages']} vs "
+                f"{self.envelope['max_messages']:.0f}")
+        return "; ".join(parts)
+
+
+def run_differential(scenario: Scenario | str, algorithm: str, *,
+                     size: Optional[int] = None,
+                     seed: int = 0) -> DifferentialRecord:
+    """Run one matrix cell: scenario graph -> simulator -> oracle."""
+    if isinstance(scenario, str):
+        scenario = get_scenario(scenario)
+    if algorithm not in scenario.algorithms:
+        raise ValueError(
+            f"scenario {scenario.name!r} does not bind {algorithm!r} "
+            f"(bindings: {', '.join(scenario.algorithms)})")
+    binding = get_binding(algorithm)
+    size = scenario.default_size if size is None else size
+    graph = scenario.graph(size, seed=seed)
+    result = binding.run(graph, scenario.seed_for(size, seed))
+    envelope = binding.envelope.evaluate(graph.n, graph.m,
+                                         slack=scenario.envelope_slack)
+    envelope_ok = (result.metrics["rounds"] <= envelope["max_rounds"]
+                   and result.metrics["messages"] <= envelope["max_messages"])
+    return DifferentialRecord(
+        scenario=scenario.name, algorithm=algorithm, family=binding.family,
+        size=size, seed=seed, n=graph.n, m=graph.m,
+        ok=result.ok, envelope_ok=envelope_ok, checks=result.checks,
+        metrics=result.metrics, envelope=envelope, detail=result.detail)
+
+
+def run_scenario(name: str, *, size: Optional[int] = None,
+                 algorithm: Optional[str] = None,
+                 seed: int = 0) -> List[DifferentialRecord]:
+    """Run one scenario under all (or one) of its bound algorithms."""
+    scenario = get_scenario(name)
+    algorithms = scenario.algorithms if algorithm is None else (algorithm,)
+    return [run_differential(scenario, alg, size=size, seed=seed)
+            for alg in algorithms]
+
+
+def sweep(names: Optional[Iterable[str]] = None, *,
+          sizes: Optional[Iterable[int]] = None,
+          seed: int = 0) -> List[DifferentialRecord]:
+    """The full matrix: scenarios x bound algorithms x sizes.
+
+    ``sizes=None`` runs each scenario at its tier-1 ``default_size``
+    only; an explicit size list is applied to every scenario (sizes are
+    per-scenario workload sizes, not shared absolute node counts -- a
+    grid rounds to the nearest rectangle, a chain to an even length).
+    """
+    scenarios = (all_scenarios() if names is None
+                 else [get_scenario(name) for name in names])
+    records = []
+    for scenario in scenarios:
+        run_sizes = [scenario.default_size] if sizes is None else list(sizes)
+        for size in run_sizes:
+            for algorithm in scenario.algorithms:
+                records.append(run_differential(
+                    scenario, algorithm, size=size, seed=seed))
+    return records
+
+
+def summarize(records: Iterable[DifferentialRecord]) -> Dict[str, Any]:
+    """Aggregate verdict counts for reports and CLI output."""
+    records = list(records)
+    failed = [r for r in records if not r.passed]
+    return {
+        "cells": len(records),
+        "passed": len(records) - len(failed),
+        "failed": len(failed),
+        "failures": [r.failure_message() for r in failed],
+    }

@@ -38,6 +38,63 @@ def test_cli_decompose(capsys):
     assert "kappa=2" in capsys.readouterr().out
 
 
+def test_cli_scenarios_list(capsys):
+    assert main(["scenarios", "list"]) == 0
+    out = capsys.readouterr().out
+    assert "dense-gnp" in out and "bipartite-balanced" in out
+    count = int(out.strip().rsplit("\n", 1)[-1].split()[0])
+    assert count >= 20
+
+
+def test_cli_scenarios_list_json(capsys):
+    import json
+    assert main(["scenarios", "list", "--json"]) == 0
+    entries = json.loads(capsys.readouterr().out)
+    assert len(entries) >= 20
+    assert {"name", "regime", "algorithms", "sizes"} <= set(entries[0])
+
+
+def test_cli_scenarios_run(capsys):
+    assert main(["scenarios", "run", "random-tree"]) == 0
+    out = capsys.readouterr().out
+    assert "pass" in out and "cells passed" in out
+
+
+def test_cli_scenarios_run_json(capsys):
+    import json
+    assert main(["scenarios", "run", "complete", "--size", "10",
+                 "--algorithm", "apsp-unweighted", "--json"]) == 0
+    records = json.loads(capsys.readouterr().out)
+    assert len(records) == 1
+    record = records[0]
+    assert record["passed"] and record["n"] == 10
+    assert record["metrics"]["messages"] > 0
+    assert record["checks"] == {"dist_equals_oracle": True}
+
+
+def test_cli_scenarios_sweep(capsys):
+    assert main(["scenarios", "sweep", "--names", "path", "cycle",
+                 "--sizes", "12"]) == 0
+    out = capsys.readouterr().out
+    assert "3/3 cells passed" in out
+
+
+def test_cli_scenarios_unknown_name_is_clean_error(capsys):
+    assert main(["scenarios", "run", "no-such-scenario"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown scenario" in err and "dense-gnp" in err
+
+
+def test_cli_scenarios_unbound_algorithm_is_clean_error(capsys):
+    assert main(["scenarios", "run", "path", "--algorithm", "matching"]) == 2
+    assert "does not bind" in capsys.readouterr().err
+
+
+def test_cli_scenarios_rejects_degenerate_size(capsys):
+    assert main(["scenarios", "run", "path", "--size", "2"]) == 2
+    assert "size must be >= 3" in capsys.readouterr().err
+
+
 def test_cli_requires_command():
     with pytest.raises(SystemExit):
         main([])

@@ -1,0 +1,146 @@
+"""Every registered scenario builds deterministically and satisfies its
+declared invariants (connected, bipartite where claimed, weighted where
+claimed, size within tolerance)."""
+
+import pytest
+
+from repro.scenarios import (
+    BINDINGS,
+    all_scenarios,
+    get_binding,
+    get_scenario,
+    scenario_names,
+    select,
+)
+
+NAMES = scenario_names()
+
+
+def _edge_weight_signature(g):
+    edges = sorted(g.edges())
+    if not g.is_weighted:
+        return edges
+    return [(u, v, g.weight(u, v), g.weight(v, u)) for u, v in edges]
+
+
+# ---------------------------------------------------------------------------
+# Registry-level properties
+# ---------------------------------------------------------------------------
+
+def test_registry_has_at_least_twenty_scenarios():
+    assert len(NAMES) >= 20
+
+
+def test_registry_names_unique_and_sorted():
+    assert NAMES == sorted(set(NAMES))
+
+
+def test_unknown_scenario_raises_with_known_names():
+    with pytest.raises(KeyError, match="dense-gnp"):
+        get_scenario("no-such-scenario")
+
+
+def test_unknown_binding_raises():
+    with pytest.raises(KeyError, match="matching"):
+        get_binding("no-such-binding")
+
+
+def test_every_bound_algorithm_exists():
+    for scenario in all_scenarios():
+        assert scenario.algorithms, scenario.name
+        for algorithm in scenario.algorithms:
+            assert algorithm in BINDINGS, (scenario.name, algorithm)
+
+
+def test_select_filters_by_algorithm_and_tag():
+    matching = select(algorithm="matching")
+    assert matching and all("matching" in s.algorithms for s in matching)
+    dense = select(tag="dense")
+    assert dense and all("dense" in s.tags for s in dense)
+    assert select(algorithm="matching", tag="dense") == []
+
+
+def test_matrix_spans_all_four_families():
+    families = {get_binding(a).family
+                for s in all_scenarios() for a in s.algorithms}
+    assert {"apsp", "bfs", "matching", "cover"} <= families
+
+
+# ---------------------------------------------------------------------------
+# Per-scenario construction invariants
+# ---------------------------------------------------------------------------
+
+@pytest.mark.scenario
+@pytest.mark.parametrize("name", NAMES)
+def test_scenario_builds_deterministically(name):
+    scenario = get_scenario(name)
+    first = scenario.graph()
+    second = scenario.graph()
+    assert first.adj == second.adj
+    assert _edge_weight_signature(first) == _edge_weight_signature(second)
+
+
+@pytest.mark.scenario
+@pytest.mark.parametrize("name", NAMES)
+def test_scenario_invariants(name):
+    scenario = get_scenario(name)
+    g = scenario.graph()
+    assert g.is_connected(), f"{name} built a disconnected graph"
+    assert scenario.size_ok(scenario.default_size, g.n), (
+        f"{name}: n={g.n} too far from requested {scenario.default_size}")
+    assert g.is_weighted == scenario.weighted
+    if scenario.bipartite:
+        assert g.is_bipartite() is not None, f"{name} is not bipartite"
+
+
+@pytest.mark.scenario
+@pytest.mark.parametrize("name", NAMES)
+def test_scenario_seed_sensitivity(name):
+    """Randomized families must actually vary with the caller seed, and
+    closed-form families must not."""
+    scenario = get_scenario(name)
+    base = scenario.graph(seed=0)
+    other = scenario.graph(seed=12345)
+    same = (base.adj == other.adj
+            and _edge_weight_signature(base) == _edge_weight_signature(other))
+    if scenario.randomized:
+        assert not same, f"{name} ignored its seed"
+    else:
+        assert same, f"{name} is declared closed-form but varied with seed"
+
+
+@pytest.mark.scenario
+@pytest.mark.parametrize("name", NAMES)
+def test_scenario_sizes_are_buildable(name):
+    """Declared sweep sizes honor the invariants too (cheap: build only)."""
+    scenario = get_scenario(name)
+    assert scenario.default_size == scenario.sizes[0]
+    for size in scenario.sizes:
+        g = scenario.graph(size)
+        assert g.is_connected()
+        assert scenario.size_ok(size, g.n), (name, size, g.n)
+
+
+@pytest.mark.scenario
+def test_weighted_scenarios_have_polynomial_weights():
+    for scenario in all_scenarios():
+        if not scenario.weighted:
+            continue
+        g = scenario.graph()
+        cap = g.n ** 4
+        for u, v in g.edges():
+            assert abs(g.weight(u, v)) <= cap, (scenario.name, u, v)
+            assert abs(g.weight(v, u)) <= cap, (scenario.name, u, v)
+
+
+@pytest.mark.slow
+@pytest.mark.scenario
+@pytest.mark.parametrize("name", NAMES)
+def test_scenario_invariants_at_requested_size(name, scenario_size):
+    """Tier 2: the invariants hold at the operator-chosen size too."""
+    scenario = get_scenario(name)
+    g = scenario.graph(scenario_size)
+    assert g.is_connected()
+    assert scenario.size_ok(scenario_size, g.n)
+    if scenario.bipartite:
+        assert g.is_bipartite() is not None
