@@ -2,9 +2,12 @@
 
 Regenerates the quantities of Definition 2.3 (and the three quantities
 depicted in the paper's Figure 1: cluster count, max strong diameter,
-max F-out-degree) over an n sweep on G(n, p) and on grids, plus the
-beta ablation called out in DESIGN.md.  Claim shape: both the realized
-r and d stay O(log n) while n quadruples.
+max F-out-degree) over an n sweep of registry scenarios spanning the
+sparse, expander, hub-skewed, and grid regimes, plus the beta ablation
+called out in DESIGN.md.  Claim shape: both the realized r and d stay
+O(log n) while n quadruples.  Workloads come from the scenario registry
+(no hand-rolled graphs), so the regimes probed here are the same named
+entries the differential harness and the sweep engine run.
 """
 
 import math
@@ -13,27 +16,33 @@ from conftest import run_once
 
 from repro.analysis import print_table, record_extra_info
 from repro.decomposition import build_ldc, verify_ldc
-from repro.graphs import gnp, grid
+from repro.scenarios import get_scenario
+
+# scenario -> the n sweep it is decomposed at (n quadruples end to end).
+SWEEP = (
+    ("sparse-gnp", (16, 32, 64, 128)),
+    ("expander-regular", (16, 32, 64, 128)),
+    ("power-law", (16, 32, 64, 128)),
+    ("grid", (16, 64)),
+)
 
 
 def _sweep():
     rows = []
-    for n in (16, 32, 64, 128):
-        g = gnp(n, min(0.5, 8.0 / n + 0.1), seed=n)
-        ldc = build_ldc(g, seed=n)
-        stats = verify_ldc(g, ldc)
-        rows.append((g.name, n, stats["clusters"], stats["r"], stats["d"],
-                     round(math.log2(n), 1), ldc.metrics.rounds))
-    g = grid(8, 8)
-    ldc = build_ldc(g, seed=7)
-    stats = verify_ldc(g, ldc)
-    rows.append((g.name, g.n, stats["clusters"], stats["r"], stats["d"],
-                 round(math.log2(g.n), 1), ldc.metrics.rounds))
+    for name, sizes in SWEEP:
+        scenario = get_scenario(name)
+        for n in sizes:
+            g = scenario.graph(n, seed=n)
+            ldc = build_ldc(g, seed=n)
+            stats = verify_ldc(g, ldc)
+            rows.append((name, g.n, stats["clusters"], stats["r"],
+                         stats["d"], round(math.log2(g.n), 1),
+                         ldc.metrics.rounds))
     return rows
 
 
 def _beta_ablation():
-    g = gnp(64, 0.2, seed=9)
+    g = get_scenario("expander-regular").graph(64, seed=9)
     rows = []
     for beta in (0.25, 0.5, 1.0):
         ldc = build_ldc(g, beta=beta, seed=11)
@@ -45,7 +54,8 @@ def _beta_ablation():
 def test_e1_ldc_decomposition(benchmark):
     rows = run_once(benchmark, _sweep)
     table = print_table(
-        ["graph", "n", "clusters", "diam r", "F-deg d", "log2 n", "rounds"],
+        ["scenario", "n", "clusters", "diam r", "F-deg d", "log2 n",
+         "rounds"],
         rows, title="E1: LDC decompositions (Lemma 2.4 / Figure 1)")
     for _name, n, _clusters, r, d, _log, rounds in rows:
         bound = 8 * math.log2(n) + 4

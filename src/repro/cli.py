@@ -12,6 +12,9 @@ Examples
     python -m repro.cli scenarios list
     python -m repro.cli scenarios run dense-gnp --json
     python -m repro.cli scenarios sweep --sizes 16 24 --json
+    python -m repro.cli sweep --workers 4                 # persisted + resumable
+    python -m repro.cli sweep --list-runs
+    python -m repro.cli sweep --compare <run-id> --against <run-id>
 
 Each command prints the exact result summary plus the measured message
 and round costs; everything runs on the literal CONGEST simulator.
@@ -154,11 +157,16 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
             records = run_scenario(args.name, size=args.size,
                                    algorithm=args.algorithm, seed=args.seed)
         else:  # sweep
-            records = sweep(args.names, sizes=args.sizes, seed=args.seed)
+            records = sweep(args.names, sizes=args.sizes, seed=args.seed,
+                            workers=args.workers, timeout=args.timeout)
     except (KeyError, ValueError) as exc:
         message = exc.args[0] if exc.args else str(exc)
         print(f"error: {message}", file=sys.stderr)
         return 2
+    except RuntimeError as exc:
+        # A timed-out or crashed cell: operational failure, not usage.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
     if args.json:
         print(json.dumps([r.as_dict() for r in records], indent=2))
@@ -169,6 +177,114 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
         for failure in stats["failures"]:
             print(f"  FAIL {failure}")
     return 0 if all(r.passed for r in records) else 1
+
+
+def _print_comparison(comparison) -> None:
+    print(f"compare {comparison.baseline_id} -> {comparison.current_id}: "
+          f"{comparison.cells_compared} cells, "
+          f"{len(comparison.regressions)} regression(s)")
+    if comparison.deltas:
+        print(format_table(
+            ["severity", "kind", "scenario", "algorithm", "size", "seed",
+             "detail"],
+            [d.row() for d in comparison.deltas]))
+    else:
+        print("no differences")
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    """The runner-backed sweep: persist / resume / list / compare."""
+    from repro.runner import RunStore, compare_runs, run_sweep
+    from repro.testing import summarize
+
+    store = RunStore(args.store)
+
+    if args.list_runs:
+        rows = [(run.run_id, run.revision,
+                 len(run.completed_keys()), len(run.planned_keys),
+                 "complete" if run.is_complete() else "incomplete")
+                for run in store.list_runs()]
+        if args.json:
+            print(json.dumps(
+                [{"run": run_id, "revision": revision, "recorded": done,
+                  "planned": planned, "state": state}
+                 for run_id, revision, done, planned, state in rows],
+                indent=2))
+        else:
+            print(format_table(
+                ["run", "revision", "recorded", "planned", "state"], rows))
+        return 0
+
+    if args.against is not None and args.compare is None:
+        print("error: --against requires --compare (diff two stored runs "
+              "without executing anything)", file=sys.stderr)
+        return 2
+
+    try:
+        # Resolve the baseline up front: a typo'd run id must fail fast,
+        # not after a full sweep has executed.
+        baseline = (store.open_run(args.compare)
+                    if args.compare is not None else None)
+
+        if baseline is not None and args.against is not None:
+            # Pure diff of two stored runs, no execution.
+            current = store.open_run(args.against)
+            comparison = compare_runs(
+                baseline.load_results(), current.load_results(),
+                baseline_id=baseline.run_id, current_id=current.run_id,
+                tolerance=args.tolerance)
+            if args.json:
+                print(json.dumps(comparison.as_dict(), indent=2))
+            else:
+                _print_comparison(comparison)
+            return 0 if comparison.ok else 1
+
+        outcome = run_sweep(args.names, sizes=args.sizes, seeds=args.seeds,
+                            workers=args.workers, timeout=args.timeout,
+                            store=store, fresh=args.fresh)
+    except (KeyError, ValueError) as exc:
+        message = exc.args[0] if exc.args else str(exc)
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+
+    exit_code = 0 if outcome.ok else 1
+    comparison = None
+    if baseline is not None:
+        comparison = compare_runs(
+            baseline.load_results(), outcome.run.load_results(),
+            baseline_id=baseline.run_id, current_id=outcome.run_id,
+            tolerance=args.tolerance)
+        if not comparison.ok:
+            exit_code = 1
+
+    summary = outcome.summary()
+    records = outcome.records
+    if args.json:
+        payload = {"summary": summary,
+                   "cells": [r.as_dict() for r in outcome.results]}
+        if comparison is not None:
+            payload["comparison"] = comparison.as_dict()
+        print(json.dumps(payload, indent=2))
+    else:
+        print(format_table(_SCENARIO_HEADERS, _scenario_rows(records)))
+        verb = "resumed" if outcome.resumed else "recorded"
+        print(f"\nrun {outcome.run_id} ({verb}): "
+              f"{summary['passed']}/{summary['cells']} cells passed, "
+              f"{summary['executed']} executed, "
+              f"{summary['skipped']} restored from the store, "
+              f"{summary['wall_time']:.2f}s of cell wall time")
+        stats = summarize(records)
+        for failure in stats["failures"]:
+            print(f"  FAIL {failure}")
+        from repro.runner.jobs import error_headline
+        for result in outcome.results:
+            if result.record is None:
+                print(f"  {result.status.upper()} {result.spec.identity}: "
+                      f"{error_headline(result.error) or '(no detail)'}")
+        if comparison is not None:
+            print()
+            _print_comparison(comparison)
+    return exit_code
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -233,8 +349,45 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep", help="run the scenario x algorithm x size matrix")
     q.add_argument("--names", nargs="+", default=None)
     q.add_argument("--sizes", type=int, nargs="+", default=None)
+    q.add_argument("--workers", type=int, default=1,
+                   help="worker processes (1 = in-process)")
+    q.add_argument("--timeout", type=float, default=None,
+                   help="per-cell wall-time budget in seconds")
     q.add_argument("--json", action="store_true")
     q.set_defaults(func=_cmd_scenarios)
+
+    p = sub.add_parser(
+        "sweep",
+        help="the parallel sweep engine: run / resume / compare "
+             "persisted matrix sweeps (src/repro/runner/)")
+    p.add_argument("--names", nargs="+", default=None,
+                   help="scenarios to sweep (default: all)")
+    p.add_argument("--sizes", type=int, nargs="+", default=None,
+                   help="workload sizes (default: each scenario's tier-1 "
+                        "default_size)")
+    p.add_argument("--seeds", type=int, nargs="+", default=[0])
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes (1 = in-process)")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="per-cell wall-time budget in seconds")
+    p.add_argument("--store", default="runs",
+                   help="run-store directory (default: runs/)")
+    p.add_argument("--fresh", action="store_true",
+                   help="start a new run even if an incomplete "
+                        "same-params run could be resumed")
+    p.add_argument("--compare", metavar="RUN_ID", default=None,
+                   help="baseline run to diff against; alone, the sweep "
+                        "executes and is compared to this baseline")
+    p.add_argument("--against", metavar="RUN_ID", default=None,
+                   help="with --compare: diff these two stored runs "
+                        "without executing anything")
+    p.add_argument("--tolerance", type=float, default=0.0,
+                   help="relative rounds/messages drift tolerated by "
+                        "--compare (default 0: bit-identical meters)")
+    p.add_argument("--list-runs", action="store_true",
+                   help="list stored runs and exit")
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(func=_cmd_sweep)
     return parser
 
 

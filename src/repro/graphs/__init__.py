@@ -10,9 +10,11 @@ from repro.graphs.generators import (
     grid,
     near_disconnected,
     path,
+    power_law,
     random_bipartite,
     random_regular,
     random_tree,
+    torus,
 )
 from repro.graphs.weights import (
     asymmetric_weights,
@@ -25,7 +27,8 @@ from repro.graphs.weights import (
 __all__ = [
     "EdgeKey", "Graph", "augmenting_chain", "complete", "cycle",
     "dumbbell", "edge_key", "from_edges", "gnp", "grid",
-    "near_disconnected", "path", "random_bipartite", "random_regular",
-    "random_tree", "asymmetric_weights", "heavy_tailed_weights",
+    "near_disconnected", "path", "power_law", "random_bipartite",
+    "random_regular", "random_tree", "torus",
+    "asymmetric_weights", "heavy_tailed_weights",
     "negative_safe_weights", "poly_range_weights", "uniform_weights",
 ]

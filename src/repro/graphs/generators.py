@@ -18,6 +18,11 @@ dilation).  The generators below cover:
 * ``random_regular`` -- d-regular expander-like graphs: low diameter at
   low density, the regime where round- and message-optimal algorithms
   are closest.
+* ``power_law`` -- configuration-model graphs with a Zipf degree tail:
+  a few hubs sit on almost every shortest path (maximally skewed
+  per-node congestion).
+* ``torus`` -- the wraparound grid: boundary-free moderate diameter,
+  the canonical shape for directed per-direction weights.
 * ``near_disconnected`` -- dense islands with no organic cross edges,
   connected only by the random patch-up: maximally uneven congestion.
 
@@ -192,6 +197,63 @@ def random_bipartite(left: int, right: int, p: float, seed: int = 0) -> Graph:
     if not g.is_connected():  # pragma: no cover - defensive
         raise AssertionError("bipartite generator produced a disconnected graph")
     return g
+
+
+def torus(rows: int, cols: int) -> Graph:
+    """The rows x cols torus: the grid with wraparound edges.
+
+    Diameter (rows + cols) / 2 -- half the grid's -- with every node at
+    degree 4 and no boundary, so congestion is translation-invariant.
+    With per-direction weights (``asymmetric_weights``) it is the
+    canonical directed workload: going "east" and coming back "west"
+    cost differently around the whole ring.
+    """
+    edges = set()
+    for r in range(rows):
+        for c in range(cols):
+            for rr, cc in ((r, (c + 1) % cols), ((r + 1) % rows, c)):
+                u, v = r * cols + c, rr * cols + cc
+                if u != v:  # rows/cols of 1 would wrap onto itself
+                    edges.add((min(u, v), max(u, v)))
+    return from_edges(rows * cols, edges, name=f"torus({rows}x{cols})")
+
+
+def power_law(n: int, exponent: float = 2.5, seed: int = 0) -> Graph:
+    """A configuration-model graph with a power-law degree sequence.
+
+    Samples degrees from a Zipf(``exponent``) tail (shifted so every
+    node has degree >= 1, capped at n - 1), then wires them by stub
+    matching exactly like :func:`random_regular`, discarding self-loops
+    and duplicate edges and patching the result connected.  For
+    exponents in (2, 3) -- the regime of real-world graphs -- most nodes
+    are near-leaves while a few hubs have degree Theta(n^{1/(exponent-1)}),
+    so per-node congestion is maximally skewed: the hubs sit on almost
+    every shortest path.
+    """
+    if n < 3:
+        raise ValueError("power_law requires n >= 3")
+    rng = _rng(seed)
+    degrees = np.minimum(rng.zipf(exponent, size=n), n - 1)
+    if int(degrees.sum()) % 2:  # stub count must be even to pair up
+        degrees[int(np.argmin(degrees))] += 1
+    edges: set = set()
+    stubs = [v for v in range(n) for _ in range(int(degrees[v]))]
+    for _ in range(10):  # rounds of re-pairing the leftover stubs
+        rng.shuffle(stubs)
+        leftover = []
+        for a, b in zip(stubs[0::2], stubs[1::2]):
+            u, v = int(min(a, b)), int(max(a, b))
+            if u == v or (u, v) in edges:
+                leftover.extend((a, b))
+            else:
+                edges.add((u, v))
+        if len(stubs) % 2:
+            leftover.append(stubs[-1])
+        if not leftover or len(leftover) == len(stubs):
+            break
+        stubs = leftover
+    _connect(n, edges, rng)
+    return from_edges(n, edges, name=f"power_law(n={n},a={exponent})")
 
 
 def random_regular(n: int, d: int, seed: int = 0) -> Graph:

@@ -1,0 +1,129 @@
+"""The sweep engine: plan -> (resume) -> execute -> persist -> records.
+
+One call to :func:`run_sweep` is one sweep over the scenario x algorithm
+matrix.  The engine builds the deterministic work-list, consults the run
+store for an incomplete run with the same parameters at the same git
+revision (resuming it and skipping every already-recorded cell), fans
+the remaining cells out through :func:`repro.runner.executor.run_cells`,
+appends each result to the store the moment it completes, and returns
+the merged record set in canonical cell order.
+
+Storeless sweeps (``store=None``) run the same execution path entirely
+in memory -- that is what :func:`repro.testing.sweep` and the
+``repro scenarios sweep`` CLI use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.runner.executor import OnResult, run_cells
+from repro.runner.jobs import CellResult, JobSpec, build_specs
+from repro.runner.store import Run, RunStore, git_revision
+
+
+@dataclass
+class SweepOutcome:
+    """What one engine invocation did and produced."""
+
+    results: List[CellResult]
+    executed: int                  # cells actually run this invocation
+    skipped: int                   # cells restored from the store
+    run: Optional[Run] = None      # the persisted run, if a store was used
+    resumed: bool = False          # True when an incomplete run was continued
+
+    @property
+    def run_id(self) -> Optional[str]:
+        return self.run.run_id if self.run is not None else None
+
+    @property
+    def records(self):
+        """The done cells as DifferentialRecords, in canonical order."""
+        from repro.testing.differential import record_from_dict
+        return [record_from_dict(result.record) for result in self.results
+                if result.record is not None]
+
+    @property
+    def ok(self) -> bool:
+        return all(result.passed for result in self.results)
+
+    def summary(self) -> Dict[str, Any]:
+        by_status: Dict[str, int] = {}
+        for result in self.results:
+            by_status[result.status] = by_status.get(result.status, 0) + 1
+        return {
+            "run_id": self.run_id,
+            "cells": len(self.results),
+            "executed": self.executed,
+            "skipped": self.skipped,
+            "resumed": self.resumed,
+            "passed": sum(1 for r in self.results if r.passed),
+            "failed": sum(1 for r in self.results if not r.passed),
+            "statuses": by_status,
+            "wall_time": sum(r.wall_time for r in self.results),
+        }
+
+
+def sweep_params(names: Optional[Sequence[str]],
+                 sizes: Optional[Sequence[int]],
+                 seeds: Sequence[int]) -> Dict[str, Any]:
+    """The manifest/resume identity of a sweep's parameters."""
+    return {"names": None if names is None else list(names),
+            "sizes": None if sizes is None else list(sizes),
+            "seeds": list(seeds)}
+
+
+def run_sweep(names: Optional[Sequence[str]] = None, *,
+              sizes: Optional[Sequence[int]] = None,
+              seeds: Sequence[int] = (0,),
+              workers: int = 1,
+              timeout: Optional[float] = None,
+              store: Optional[RunStore] = None,
+              fresh: bool = False,
+              revision: Optional[str] = None,
+              on_result: Optional[OnResult] = None,
+              specs: Optional[Sequence[JobSpec]] = None) -> SweepOutcome:
+    """Run (or resume) one sweep; see the module docstring.
+
+    ``fresh=True`` always starts a new run directory even when an
+    incomplete same-params run exists.  ``specs`` overrides the planned
+    work-list (the tests use it to inject fault-instrumented specs);
+    names/sizes/seeds still name the sweep in the manifest.
+    """
+    specs = (build_specs(names, sizes=sizes, seeds=seeds)
+             if specs is None else list(specs))
+
+    run: Optional[Run] = None
+    resumed = False
+    cached: Dict[str, CellResult] = {}
+    if store is not None:
+        params = sweep_params(names, sizes, seeds)
+        revision = git_revision() if revision is None else revision
+        if not fresh:
+            run = store.find_resumable(params, revision)
+            resumed = run is not None
+        if run is None:
+            run = store.create_run(specs, params, revision=revision)
+        else:
+            planned = set(spec.key for spec in specs)
+            cached = {result.key: result for result in run.load_results()
+                      if result.key in planned}
+
+    todo = [spec for spec in specs if spec.key not in cached]
+
+    def persist(result: CellResult) -> None:
+        if run is not None:
+            run.append(result)
+        if on_result is not None:
+            on_result(result)
+
+    executed = run_cells(todo, workers=workers, timeout=timeout,
+                         on_result=persist)
+
+    merged = dict(cached)
+    for result in executed:
+        merged[result.key] = result
+    ordered = [merged[spec.key] for spec in specs if spec.key in merged]
+    return SweepOutcome(results=ordered, executed=len(executed),
+                        skipped=len(cached), run=run, resumed=resumed)

@@ -1,0 +1,150 @@
+"""The parallel cell executor: fan sweep cells out to worker processes.
+
+``workers=1`` runs every cell in-process (same code path as the
+differential harness, fully debuggable with pdb/print); ``workers>1``
+uses a :class:`concurrent.futures.ProcessPoolExecutor` and ships each
+cell as a picklable :class:`JobSpec`, rebuilding the scenario graph
+inside the worker.  Because every cell is seed-deterministic, the two
+modes produce identical record payloads -- pinned by
+``tests/test_runner.py`` -- and results are always returned in the
+submitted spec order regardless of completion order.
+
+Per-cell timeouts are enforced *inside* the executing process with a
+``SIGALRM`` interval timer, so a pathological cell is interrupted where
+it runs and the pool stays healthy (no abandoned busy workers, no
+pool-wide teardown); on platforms without ``SIGALRM`` the timeout
+degrades to unenforced rather than failing.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from contextlib import contextmanager
+from typing import Callable, List, Optional, Sequence
+
+from repro.runner.jobs import DONE, ERROR, TIMEOUT, CellResult, JobSpec
+
+OnResult = Callable[[CellResult], None]
+
+
+class CellTimeout(Exception):
+    """Raised inside a worker when a cell exceeds its wall-time budget."""
+
+
+def _alarm_supported() -> bool:
+    return (hasattr(signal, "SIGALRM")
+            and threading.current_thread() is threading.main_thread())
+
+
+@contextmanager
+def _cell_alarm(timeout: Optional[float]):
+    """Interrupt the enclosed block after ``timeout`` seconds."""
+    if not timeout or not _alarm_supported():
+        yield
+        return
+
+    def _raise_timeout(signum, frame):
+        raise CellTimeout()
+
+    previous = signal.signal(signal.SIGALRM, _raise_timeout)
+    signal.setitimer(signal.ITIMER_REAL, timeout)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def execute_cell(spec: JobSpec,
+                 timeout: Optional[float] = None) -> CellResult:
+    """Run one cell to a :class:`CellResult`; never raises.
+
+    This is the function worker processes execute, so it must stay
+    module-level (picklable by reference) and must convert every failure
+    mode -- timeout, algorithm bug, oracle mismatch crash -- into a
+    result record instead of an exception that would poison the pool.
+    """
+    from repro.testing.differential import run_differential
+
+    start = time.perf_counter()
+    try:
+        with _cell_alarm(timeout):
+            if spec.delay:
+                time.sleep(spec.delay)
+            record = run_differential(spec.scenario, spec.algorithm,
+                                      size=spec.size, seed=spec.seed)
+        return CellResult(spec=spec, status=DONE,
+                          wall_time=time.perf_counter() - start,
+                          record=record.as_dict())
+    except CellTimeout:
+        return CellResult(spec=spec, status=TIMEOUT,
+                          wall_time=time.perf_counter() - start,
+                          error=f"cell exceeded the {timeout:.3g}s "
+                                f"per-cell timeout")
+    except Exception:
+        return CellResult(spec=spec, status=ERROR,
+                          wall_time=time.perf_counter() - start,
+                          error=traceback.format_exc(limit=8))
+
+
+def run_cells(specs: Sequence[JobSpec], *, workers: int = 1,
+              timeout: Optional[float] = None,
+              on_result: Optional[OnResult] = None) -> List[CellResult]:
+    """Execute every spec; return results in submitted spec order.
+
+    ``on_result`` fires once per cell *as it completes* (out of order
+    under ``workers>1``) -- the hook the run store uses to persist each
+    record immediately, which is what makes interrupted sweeps
+    resumable.  An exception from ``on_result`` aborts the sweep:
+    queued cells are cancelled, in-flight cells are abandoned, and
+    everything already persisted stays persisted.
+
+    ``execute_cell`` never raises, so a future that raises signals pool
+    infrastructure failure (e.g. an OOM-killed worker breaking the
+    pool).  Such cells -- which may never have been attempted -- come
+    back as ``status=error`` results but are *not* fed to ``on_result``:
+    persisting them would mark the run complete and stop resume from
+    ever retrying cells the broken pool never ran.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if workers == 1:
+        results = []
+        for spec in specs:
+            result = execute_cell(spec, timeout)
+            if on_result is not None:
+                on_result(result)
+            results.append(result)
+        return results
+
+    slots: List[Optional[CellResult]] = [None] * len(specs)
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        pending = {pool.submit(execute_cell, spec, timeout): i
+                   for i, spec in enumerate(specs)}
+        try:
+            while pending:
+                finished, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    index = pending.pop(future)
+                    try:
+                        result = future.result()
+                    except Exception:
+                        slots[index] = CellResult(
+                            spec=specs[index], status=ERROR, wall_time=0.0,
+                            error=traceback.format_exc(limit=4))
+                        continue
+                    slots[index] = result
+                    if on_result is not None:
+                        on_result(result)
+        except BaseException:
+            # on_result raised (or Ctrl-C): don't let the with-block's
+            # shutdown(wait=True) grind through the whole queue first.
+            for future in pending:
+                future.cancel()
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
+    return [result for result in slots if result is not None]

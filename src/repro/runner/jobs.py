@@ -1,0 +1,158 @@
+"""Picklable job specs and cell results for the parallel sweep engine.
+
+A sweep over the scenario x algorithm matrix decomposes into independent
+*cells*, each fully described by ``(scenario, algorithm, size, seed)``.
+Because every scenario build is seed-deterministic (see
+:mod:`repro.scenarios.registry`), a :class:`JobSpec` is all a worker
+process needs: it rebuilds the graph locally and runs the differential
+oracle -- no graphs or results cross the process boundary, only these
+small records.
+
+Cell identity is *content-addressed*: :func:`cell_key` hashes the
+canonical JSON of the four coordinates, so the same cell gets the same
+key in every process, run, and revision -- the handle the run store uses
+to skip already-recorded cells on resume.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+CellIdentity = Tuple[str, str, int, int]
+
+# Record fields that vary between executions of the same cell at the
+# same revision.  Single source of the "canonical payload" rule shared
+# by DifferentialRecord.canonical_dict and CellResult.canonical_record.
+NONDETERMINISTIC_FIELDS = ("wall_time",)
+
+
+def error_headline(error: Optional[str]) -> str:
+    """The last non-empty line of a traceback/error text ('' if none)."""
+    lines = (error or "").strip().splitlines()
+    return lines[-1] if lines else ""
+
+
+def cell_key(scenario: str, algorithm: str, size: int, seed: int) -> str:
+    """The content-addressed cell id: stable across processes and runs."""
+    payload = json.dumps(
+        {"scenario": scenario, "algorithm": algorithm,
+         "size": size, "seed": seed},
+        sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:20]
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One sweep cell, small enough to pickle to a worker process.
+
+    ``delay`` is fault-injection instrumentation for the timeout tests:
+    the executor sleeps that many seconds before running the cell, which
+    lets tests exercise the per-cell timeout path with real worker
+    processes.  It is excluded from the cell key -- identity is the four
+    matrix coordinates only.
+    """
+
+    scenario: str
+    algorithm: str
+    size: int
+    seed: int = 0
+    delay: float = 0.0
+
+    @property
+    def identity(self) -> CellIdentity:
+        return (self.scenario, self.algorithm, self.size, self.seed)
+
+    @property
+    def key(self) -> str:
+        return cell_key(self.scenario, self.algorithm, self.size, self.seed)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"scenario": self.scenario, "algorithm": self.algorithm,
+                "size": self.size, "seed": self.seed}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "JobSpec":
+        return cls(scenario=payload["scenario"],
+                   algorithm=payload["algorithm"],
+                   size=payload["size"], seed=payload["seed"])
+
+
+# Cell execution statuses.
+DONE = "done"        # the differential record was produced (pass or fail)
+TIMEOUT = "timeout"  # the cell exceeded the per-cell wall-time budget
+ERROR = "error"      # the cell raised (bug or crashed worker)
+
+
+@dataclass
+class CellResult:
+    """Outcome of executing one :class:`JobSpec`.
+
+    ``record`` is the ``DifferentialRecord.as_dict()`` payload when
+    ``status == "done"`` and ``None`` otherwise; keeping it as a plain
+    dict makes the result picklable and JSONL-serializable as-is.
+    """
+
+    spec: JobSpec
+    status: str
+    wall_time: float
+    record: Optional[Dict[str, Any]] = None
+    error: Optional[str] = None
+
+    @property
+    def passed(self) -> bool:
+        return (self.status == DONE and self.record is not None
+                and bool(self.record.get("passed")))
+
+    @property
+    def key(self) -> str:
+        return self.spec.key
+
+    def canonical_record(self) -> Optional[Dict[str, Any]]:
+        """The deterministic part of the record (wall clock stripped)."""
+        if self.record is None:
+            return None
+        payload = dict(self.record)
+        for field in NONDETERMINISTIC_FIELDS:
+            payload.pop(field, None)
+        return payload
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"key": self.key, "spec": self.spec.as_dict(),
+                "status": self.status, "wall_time": self.wall_time,
+                "record": self.record, "error": self.error}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "CellResult":
+        return cls(spec=JobSpec.from_dict(payload["spec"]),
+                   status=payload["status"],
+                   wall_time=payload["wall_time"],
+                   record=payload.get("record"),
+                   error=payload.get("error"))
+
+
+def build_specs(names: Optional[Iterable[str]] = None, *,
+                sizes: Optional[Sequence[int]] = None,
+                seeds: Sequence[int] = (0,)) -> List[JobSpec]:
+    """The sweep work-list, in the canonical deterministic order.
+
+    Mirrors :func:`repro.testing.sweep`: scenarios sorted by name, each
+    at its tier-1 ``default_size`` unless explicit ``sizes`` are given,
+    under every bound algorithm, for every caller seed.
+    """
+    from repro.scenarios import all_scenarios, get_scenario
+
+    scenarios = (all_scenarios() if names is None
+                 else [get_scenario(name) for name in names])
+    specs: List[JobSpec] = []
+    for scenario in scenarios:
+        run_sizes = ([scenario.default_size] if sizes is None
+                     else list(sizes))
+        for size in run_sizes:
+            for algorithm in scenario.algorithms:
+                for seed in seeds:
+                    specs.append(JobSpec(scenario.name, algorithm,
+                                         size, seed))
+    return specs

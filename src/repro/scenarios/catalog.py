@@ -26,6 +26,12 @@ grid-weighted             weighted APSP at moderate diameter
 random-tree               minimally sparse connected graphs (m = n-1)
 sparse-gnp                m = Theta(n): message-optimality matters least;
                           regression guard for the sparse end
+power-law                 configuration-model Zipf(2.5) degrees: a few
+                          hubs carry almost every shortest path
+                          (maximally skewed per-node congestion)
+torus-asymmetric          the "even on directed graphs" clause on a
+                          boundary-free wraparound grid with independent
+                          per-direction weights
 dumbbell                  the classical CONGEST lower-bound shape: two
                           cliques, one bridge that must carry everything
 dumbbell-heavy            the bridge additionally carries heavy weights
@@ -67,9 +73,11 @@ from repro.graphs import (
     negative_safe_weights,
     path,
     poly_range_weights,
+    power_law,
     random_bipartite,
     random_regular,
     random_tree,
+    torus,
     uniform_weights,
 )
 from repro.scenarios.registry import Scenario, register
@@ -79,6 +87,12 @@ def _grid_build(size: int, seed: int):
     rows = max(2, int(math.isqrt(size)))
     cols = max(2, round(size / rows))
     return grid(rows, cols)
+
+
+def _torus_build(size: int, seed: int):
+    rows = max(3, int(math.isqrt(size)))
+    cols = max(3, round(size / rows))
+    return torus(rows, cols)
 
 
 def _dumbbell_build(size: int, seed: int):
@@ -186,6 +200,24 @@ register(Scenario(
     build=lambda size, seed: gnp(size, min(0.95, 3.0 / size), seed=seed),
     algorithms=("apsp-unweighted", "cover"),
     default_size=18, sizes=(18, 28, 40), tags=("sparse",)))
+
+register(Scenario(
+    name="power-law", regime="power-law degrees: hub congestion",
+    description="configuration model with a Zipf(2.5) degree tail: "
+                "a few hubs sit on almost every shortest path",
+    build=lambda size, seed: power_law(size, 2.5, seed=seed),
+    algorithms=("apsp-unweighted", "bfs-collection", "cover"),
+    default_size=14, sizes=(14, 20, 32), tags=("sparse", "adversarial")))
+
+register(Scenario(
+    name="torus-asymmetric", regime="directed weights, wraparound grid",
+    description="near-square torus with independent per-direction "
+                "weights in [1, 8]: east and west cost differently",
+    build=lambda size, seed: asymmetric_weights(
+        _torus_build(size, seed), w_max=8, seed=seed + 1),
+    algorithms=("apsp-weighted",), weighted=True,
+    default_size=12, sizes=(12, 16, 25),
+    tags=("sparse", "weighted", "adversarial")))
 
 # -- lower-bound and adversarial shapes ------------------------------------
 

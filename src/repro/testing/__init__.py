@@ -4,12 +4,15 @@ Import surface for tests, benchmarks, and the CLI:
 
 * :func:`run_differential` -- one scenario x algorithm cell;
 * :func:`run_scenario` -- one scenario under all of its bindings;
-* :func:`sweep` -- the whole matrix (optionally restricted);
-* :func:`summarize` -- aggregate verdicts for reporting.
+* :func:`sweep` -- the whole matrix (optionally restricted), routed
+  through the :mod:`repro.runner` engine (``workers>1`` for a pool);
+* :func:`summarize` -- aggregate verdicts for reporting;
+* :func:`record_from_dict` -- rebuild a record from stored JSON.
 """
 
 from repro.testing.differential import (
     DifferentialRecord,
+    record_from_dict,
     run_differential,
     run_scenario,
     summarize,
@@ -17,6 +20,6 @@ from repro.testing.differential import (
 )
 
 __all__ = [
-    "DifferentialRecord", "run_differential", "run_scenario",
-    "summarize", "sweep",
+    "DifferentialRecord", "record_from_dict", "run_differential",
+    "run_scenario", "summarize", "sweep",
 ]

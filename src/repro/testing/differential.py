@@ -16,10 +16,11 @@ matrix cell), the ``repro scenarios run/sweep`` CLI (JSON records), and
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional
 
-from repro.scenarios import Scenario, all_scenarios, get_binding, get_scenario
+from repro.scenarios import Scenario, get_binding, get_scenario
 
 
 @dataclass
@@ -39,6 +40,8 @@ class DifferentialRecord:
     metrics: Dict[str, int]
     envelope: Dict[str, float]     # evaluated bounds (with slack applied)
     detail: Dict[str, Any] = field(default_factory=dict)
+    derived_seed: int = 0          # the construction seed fed to build()
+    wall_time: float = 0.0         # seconds spent building + running the cell
 
     @property
     def passed(self) -> bool:
@@ -51,6 +54,7 @@ class DifferentialRecord:
             "family": self.family,
             "size": self.size,
             "seed": self.seed,
+            "derived_seed": self.derived_seed,
             "n": self.n,
             "m": self.m,
             "ok": self.ok,
@@ -60,7 +64,25 @@ class DifferentialRecord:
             "metrics": self.metrics,
             "envelope": self.envelope,
             "detail": self.detail,
+            "wall_time": self.wall_time,
         }
+
+    def canonical_dict(self) -> Dict[str, Any]:
+        """The deterministic payload: everything except the wall clock.
+
+        Two executions of the same ``(scenario, algorithm, size, seed)``
+        cell at the same code revision agree exactly on this dict -- the
+        identity the run store's resume logic and the ``--compare``
+        regression diff are built on.  The excluded fields are named by
+        ``repro.runner.jobs.NONDETERMINISTIC_FIELDS`` (today: only
+        ``wall_time``), shared with ``CellResult.canonical_record``.
+        """
+        from repro.runner.jobs import NONDETERMINISTIC_FIELDS
+
+        payload = self.as_dict()
+        for field_name in NONDETERMINISTIC_FIELDS:
+            payload.pop(field_name, None)
+        return payload
 
     def failure_message(self) -> str:
         """A reproducible description of what went wrong (or 'passed')."""
@@ -93,8 +115,11 @@ def run_differential(scenario: Scenario | str, algorithm: str, *,
             f"(bindings: {', '.join(scenario.algorithms)})")
     binding = get_binding(algorithm)
     size = scenario.default_size if size is None else size
+    derived_seed = scenario.seed_for(size, seed)
+    start = time.perf_counter()
     graph = scenario.graph(size, seed=seed)
-    result = binding.run(graph, scenario.seed_for(size, seed))
+    result = binding.run(graph, derived_seed)
+    wall_time = time.perf_counter() - start
     envelope = binding.envelope.evaluate(graph.n, graph.m,
                                          slack=scenario.envelope_slack)
     envelope_ok = (result.metrics["rounds"] <= envelope["max_rounds"]
@@ -103,7 +128,15 @@ def run_differential(scenario: Scenario | str, algorithm: str, *,
         scenario=scenario.name, algorithm=algorithm, family=binding.family,
         size=size, seed=seed, n=graph.n, m=graph.m,
         ok=result.ok, envelope_ok=envelope_ok, checks=result.checks,
-        metrics=result.metrics, envelope=envelope, detail=result.detail)
+        metrics=result.metrics, envelope=envelope, detail=result.detail,
+        derived_seed=derived_seed, wall_time=wall_time)
+
+
+def record_from_dict(payload: Dict[str, Any]) -> DifferentialRecord:
+    """Rebuild a record from ``as_dict()`` output (e.g. a stored JSONL row)."""
+    data = dict(payload)
+    data.pop("passed", None)  # derived property, not a field
+    return DifferentialRecord(**data)
 
 
 def run_scenario(name: str, *, size: Optional[int] = None,
@@ -118,24 +151,39 @@ def run_scenario(name: str, *, size: Optional[int] = None,
 
 def sweep(names: Optional[Iterable[str]] = None, *,
           sizes: Optional[Iterable[int]] = None,
-          seed: int = 0) -> List[DifferentialRecord]:
+          seed: int = 0, workers: int = 1,
+          timeout: Optional[float] = None) -> List[DifferentialRecord]:
     """The full matrix: scenarios x bound algorithms x sizes.
 
     ``sizes=None`` runs each scenario at its tier-1 ``default_size``
     only; an explicit size list is applied to every scenario (sizes are
     per-scenario workload sizes, not shared absolute node counts -- a
     grid rounds to the nearest rectangle, a chain to an even length).
+
+    Routed through the :mod:`repro.runner` engine: ``workers=1`` (the
+    default) executes in-process exactly as before; ``workers>1`` fans
+    the cells out to a worker-process pool.  Both modes return identical
+    record payloads (pinned by ``tests/test_runner.py``).  A cell that
+    times out or errors raises here -- callers of this in-memory API
+    expect a complete record list; use the engine directly for
+    failure-tolerant sweeps.
     """
-    scenarios = (all_scenarios() if names is None
-                 else [get_scenario(name) for name in names])
-    records = []
-    for scenario in scenarios:
-        run_sizes = [scenario.default_size] if sizes is None else list(sizes)
-        for size in run_sizes:
-            for algorithm in scenario.algorithms:
-                records.append(run_differential(
-                    scenario, algorithm, size=size, seed=seed))
-    return records
+    from repro.runner.engine import run_sweep
+
+    # Validate eagerly (and resolve names) so a typo raises the same
+    # KeyError it always has, before any worker process is spawned.
+    names = None if names is None else [get_scenario(n).name for n in names]
+    sizes = None if sizes is None else list(sizes)
+    outcome = run_sweep(names, sizes=sizes, seeds=(seed,),
+                        workers=workers, timeout=timeout)
+    broken = [r for r in outcome.results if r.record is None]
+    if broken:
+        first = broken[0]
+        raise RuntimeError(
+            f"{len(broken)} sweep cell(s) did not produce a record; "
+            f"first: {first.spec.identity} "
+            f"[{first.status}] {first.error}")
+    return outcome.records
 
 
 def summarize(records: Iterable[DifferentialRecord]) -> Dict[str, Any]:

@@ -79,6 +79,128 @@ def test_cli_scenarios_sweep(capsys):
     assert "3/3 cells passed" in out
 
 
+def test_cli_scenarios_sweep_json_is_self_describing(capsys):
+    """Stored records carry the wall time and the seed actually used."""
+    import json
+
+    from repro.scenarios import get_scenario
+
+    assert main(["scenarios", "sweep", "--names", "path",
+                 "--sizes", "12", "--json"]) == 0
+    records = json.loads(capsys.readouterr().out)
+    assert records
+    for record in records:
+        assert record["wall_time"] > 0
+        assert record["seed"] == 0
+        assert record["derived_seed"] == get_scenario(
+            record["scenario"]).seed_for(record["size"], record["seed"])
+
+
+def test_cli_scenarios_sweep_workers(capsys):
+    assert main(["scenarios", "sweep", "--names", "path", "cycle",
+                 "--sizes", "12", "--workers", "2"]) == 0
+    assert "3/3 cells passed" in capsys.readouterr().out
+
+
+def test_cli_sweep_persists_resumes_and_compares(tmp_path, capsys):
+    import json
+
+    store = str(tmp_path / "runs")
+    base = ["sweep", "--store", store, "--names", "path", "cycle"]
+
+    assert main(base) == 0
+    first = capsys.readouterr().out
+    assert "3/3 cells passed" in first and "recorded" in first
+    run_id = next(line.split()[1] for line in first.splitlines()
+                  if line.startswith("run run-"))
+
+    # A second identical invocation records a fresh run (the first one
+    # completed)...
+    assert main(base) == 0
+    second_id = next(line.split()[1]
+                     for line in capsys.readouterr().out.splitlines()
+                     if line.startswith("run run-"))
+    assert second_id != run_id
+
+    # ... and the two runs of the same revision compare with zero
+    # regressions, while --list-runs sees both as complete.
+    assert main(["sweep", "--store", store, "--compare", run_id,
+                 "--against", second_id]) == 0
+    assert "0 regression(s)" in capsys.readouterr().out
+    assert main(["sweep", "--store", store, "--list-runs"]) == 0
+    listing = capsys.readouterr().out
+    assert listing.count("complete") >= 2 and run_id in listing
+    assert main(["sweep", "--store", store, "--list-runs", "--json"]) == 0
+    entries = json.loads(capsys.readouterr().out)
+    assert {e["run"] for e in entries} >= {run_id, second_id}
+    assert all(e["state"] == "complete" for e in entries)
+
+
+def test_cli_sweep_execute_with_baseline_compare(tmp_path, capsys):
+    store = str(tmp_path / "runs")
+    base = ["sweep", "--store", store, "--names", "random-tree"]
+    assert main(base) == 0
+    run_id = next(line.split()[1]
+                  for line in capsys.readouterr().out.splitlines()
+                  if line.startswith("run run-"))
+    assert main(base + ["--compare", run_id]) == 0
+    out = capsys.readouterr().out
+    assert "0 regression(s)" in out
+
+
+def test_cli_sweep_unknown_run_is_clean_error(tmp_path, capsys):
+    assert main(["sweep", "--store", str(tmp_path / "runs"),
+                 "--compare", "run-nope", "--against", "run-nada"]) == 2
+    assert "unknown run" in capsys.readouterr().err
+
+
+def test_cli_sweep_unknown_baseline_fails_before_executing(tmp_path, capsys):
+    """A typo'd --compare id must not burn a full sweep first."""
+    store = str(tmp_path / "runs")
+    assert main(["sweep", "--store", store, "--names", "path",
+                 "--compare", "run-nope"]) == 2
+    assert "unknown run" in capsys.readouterr().err
+    assert main(["sweep", "--store", store, "--list-runs"]) == 0
+    assert "run-" not in capsys.readouterr().out  # nothing was recorded
+
+
+def test_cli_sweep_against_requires_compare(tmp_path, capsys):
+    assert main(["sweep", "--store", str(tmp_path / "runs"),
+                 "--against", "run-a"]) == 2
+    assert "--against requires --compare" in capsys.readouterr().err
+
+
+def test_cli_sweep_compare_json_includes_comparison(tmp_path, capsys):
+    import json
+
+    store = str(tmp_path / "runs")
+    base = ["sweep", "--store", store, "--names", "path"]
+    assert main(base) == 0
+    run_id = next(line.split()[1]
+                  for line in capsys.readouterr().out.splitlines()
+                  if line.startswith("run run-"))
+    assert main(base + ["--compare", run_id, "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["comparison"]["ok"]
+    assert payload["comparison"]["baseline"] == run_id
+
+
+def test_cli_scenarios_sweep_timeout_is_clean_error(capsys):
+    """The in-memory sweep API promises complete record lists, so a
+    timed-out cell surfaces as a clean operational error, not a
+    traceback."""
+    assert main(["scenarios", "sweep", "--names", "complete",
+                 "--sizes", "20", "--timeout", "0.01"]) == 1
+    err = capsys.readouterr().err
+    assert "error:" in err and "did not produce a record" in err
+
+
+def test_cli_sweep_unknown_scenario_is_clean_error(tmp_path, capsys):
+    assert main(["sweep", "--store", str(tmp_path / "runs"),
+                 "--names", "no-such-scenario"]) == 2
+    assert "unknown scenario" in capsys.readouterr().err
+
+
 def test_cli_scenarios_unknown_name_is_clean_error(capsys):
     assert main(["scenarios", "run", "no-such-scenario"]) == 2
     err = capsys.readouterr().err
