@@ -10,7 +10,7 @@ simulation frameworks, so this is also their unit cost model.
 from conftest import run_once
 
 from repro.analysis import print_table, record_extra_info
-from repro.graphs import path, random_tree
+from repro.scenarios import get_scenario
 from repro.primitives import (
     Packet,
     downcast_packets,
@@ -23,8 +23,8 @@ from repro.primitives import (
 def _experiment():
     rows = []
     for n, items_per_node in ((32, 1), (32, 4), (64, 2)):
-        for maker, label in ((path, "path"), (random_tree, "random_tree")):
-            g = maker(n) if maker is path else maker(n, seed=n)
+        for label in ("path", "random-tree"):
+            g = get_scenario(label).graph(n, seed=n)
             # Root the tree at node 0 by BFS.
             from repro.baselines.reference import bfs_distances
             dist = bfs_distances(g, 0)

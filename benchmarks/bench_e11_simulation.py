@@ -5,7 +5,8 @@ based algorithm's direct message cost is ~ B_A * avg_degree, while the
 simulation pays Õ(B_A) in its per-phase traffic (plus the one-off
 Õ(In) preprocessing).  Regenerated over three structurally different
 BCONGEST workloads -- single BFS, Luby MIS, Israeli-Itai matching -- on
-complete graphs of growing size, asserting output equivalence each time.
+the registry's headline ``dense-gnp`` scenario at growing sizes,
+asserting output equivalence each time.
 """
 
 from conftest import run_once
@@ -13,9 +14,9 @@ from conftest import run_once
 from repro.analysis import print_table, record_extra_info
 from repro.congest import run_machines
 from repro.core import simulate_bcongest
-from repro.graphs import gnp
 from repro.matching.israeli_itai import IsraeliItaiMachine
 from repro.primitives import BFSMachine, LubyMISMachine
+from repro.scenarios import get_scenario
 
 
 WORKLOADS = [
@@ -28,7 +29,7 @@ WORKLOADS = [
 def _sweep():
     rows = []
     for n in (24, 32, 48, 64):
-        g = gnp(n, 0.5, seed=n)
+        g = get_scenario("dense-gnp").graph(n, seed=n)
         for name, factory in WORKLOADS:
             direct = run_machines(g, factory, seed=n)
             # beta = 1.0 keeps the LDC clusters at O(log n) granularity

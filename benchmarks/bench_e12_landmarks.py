@@ -19,7 +19,9 @@ from repro.core.tradeoff_apsp import (
     landmark_completion,
     sample_landmarks,
 )
-from repro.graphs import grid
+from repro.scenarios import get_scenario
+
+GRID = get_scenario("grid")  # the registry's high-diameter rectangle
 
 EPS = 0.45  # cap = ceil(n^0.55) ~ 9 on n=48, well below the diameter
 
@@ -30,7 +32,7 @@ def _wrong_pairs(dist, ref, n):
 
 
 def _experiment():
-    g = grid(4, 12)  # diameter 14 >> cap
+    g = GRID.graph(48)  # 6x8 grid: diameter 12 >> cap
     n = g.n
     ref = unweighted_apsp(g)
     cap = depth_cap(n, EPS)
@@ -79,11 +81,11 @@ def test_e12_landmark_completion(benchmark):
 
 def _landmark_cost_scaling():
     rows = []
-    for shape in ((3, 8), (4, 10), (4, 14)):
-        g = grid(*shape)
+    for size in (24, 40, 56):
+        g = GRID.graph(size)
         landmarks = sample_landmarks(g.n, EPS, seed=g.n)
         depths, metrics = landmark_completion(g, landmarks, seed=g.n)
-        rows.append((f"grid{shape}", g.n, len(landmarks),
+        rows.append((g.name, g.n, len(landmarks),
                      metrics.messages,
                      round(metrics.messages / g.n ** (2 + EPS), 3)))
     return rows

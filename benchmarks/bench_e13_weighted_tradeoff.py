@@ -13,13 +13,13 @@ from conftest import run_once
 from repro.analysis import print_table, record_extra_info
 from repro.baselines.reference import weighted_apsp as ref_apsp
 from repro.core.weighted_apsp import weighted_apsp_tradeoff
-from repro.graphs import gnp, uniform_weights
+from repro.scenarios import get_scenario
 
 N = 20
 
 
 def _sweep():
-    g = uniform_weights(gnp(N, 0.4, seed=131), w_max=7, seed=131)
+    g = get_scenario("dense-gnp-weighted").graph(N, seed=131)
     ref = ref_apsp(g)
     rows = []
     for eps in (0.0, 0.5, 0.75, 1.0):

@@ -13,18 +13,24 @@ from conftest import run_once
 
 from repro.analysis import print_table, record_extra_info
 from repro.congest.scheduler import measure_bfs_schedule
-from repro.graphs import gnp, grid
+from repro.scenarios import get_scenario
+
+# Workloads come from the scenario registry (the same named entries the
+# differential harness sweeps): the expander scenario for the n sweep
+# (low diameter at moderate degree, the regime where random delays have
+# the most to schedule around), plus one high-diameter grid row.
+SWEEP_SCENARIO = get_scenario("expander-regular")
 
 
 def _sweep():
     rows = []
     for n in (16, 32, 64, 128):
-        g = gnp(n, min(0.5, 8.0 / n + 0.05), seed=n + 1)
+        g = SWEEP_SCENARIO.graph(n, seed=n + 1)
         m = measure_bfs_schedule(g, seed=n)
         rows.append((g.name, n, m.ell, m.dilation, m.completion_round,
                      m.bound_rounds, m.max_distinct_bfs_per_node_round,
                      round(math.log2(n), 1), m.max_message_words))
-    g = grid(6, 6)
+    g = get_scenario("grid").graph(36)
     m = measure_bfs_schedule(g, seed=3)
     rows.append((g.name, g.n, m.ell, m.dilation, m.completion_round,
                  m.bound_rounds, m.max_distinct_bfs_per_node_round,
@@ -58,7 +64,7 @@ def _composed():
 
     rows = []
     for n, k in ((25, 5), (36, 8), (49, 12)):
-        g = grid(int(n ** 0.5), int(n ** 0.5))
+        g = get_scenario("grid").graph(n)
         roots = list(range(0, g.n, max(1, g.n // k)))[:k]
         composed = compose_machines(
             g, [(lambda r: lambda info: BFSMachine(info, root=r))(r)

@@ -11,15 +11,19 @@ from conftest import run_once
 
 from repro.analysis import print_table, record_extra_info
 from repro.decomposition import cluster_edge_probability
-from repro.graphs import gnp
+from repro.scenarios import get_scenario
 
 TRIALS = 10
+
+# The registry's expander scenario: the moderate-degree regime the
+# lemma's kappa * n^{-eps} scale is easiest to read off.
+SCENARIO = get_scenario("expander-regular")
 
 
 def _sweep():
     rows = []
     for n in (24, 48, 96):
-        g = gnp(n, min(0.4, 10.0 / n + 0.05), seed=n + 5)
+        g = SCENARIO.graph(n, seed=n + 5)
         for eps in (0.34, 0.5, 1.0):
             stats = cluster_edge_probability(g, eps, trials=TRIALS, seed=n)
             rows.append((n, eps, stats["kappa"],

@@ -18,8 +18,8 @@ from repro.congest.metrics import Metrics
 from repro.core import component_batches, simulate_aggregation
 from repro.core.bfs_collections import depth_cap, shared_delays
 from repro.decomposition import build_ensemble, cluster_edge_multiplicity
-from repro.graphs import gnp
 from repro.primitives.bfs import BFSCollectionMachine
+from repro.scenarios import get_scenario
 
 N = 36
 EPS = 0.4
@@ -51,7 +51,7 @@ def _run(graph, hierarchies, batches, cap, seed):
 
 
 def _experiment():
-    g = gnp(N, 0.3, seed=77)
+    g = get_scenario("dense-gnp").graph(N, seed=77)
     cap = depth_cap(N, EPS)
     zeta = max(2, int(math.ceil(N ** EPS)))
     batches = component_batches(list(g.nodes()), zeta)

@@ -11,12 +11,12 @@ from conftest import run_once
 
 from repro.analysis import print_table, record_extra_info
 from repro.core import neighborhood_cover, neighborhood_cover_direct
-from repro.graphs import gnp
+from repro.scenarios import get_scenario
 
 
 def _sweep():
     rows = []
-    g = gnp(40, 0.25, seed=88)
+    g = get_scenario("sparse-gnp").graph(40, seed=88)
     for k in (2, 3):
         for w in (2, 3):
             result = neighborhood_cover_direct(g, k, w, seed=88)
@@ -31,7 +31,7 @@ def _sweep():
 
 
 def _simulated():
-    g = gnp(24, 0.3, seed=89)
+    g = get_scenario("dense-gnp").graph(24, seed=89)
     direct = neighborhood_cover_direct(g, 2, 2, seed=89, boost=1.0)
     sim = neighborhood_cover(g, 2, 2, seed=89, boost=1.0)
     return [(g.n, g.m, direct.metrics.messages, sim.metrics.messages)]

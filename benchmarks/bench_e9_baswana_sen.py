@@ -11,7 +11,8 @@ from conftest import run_once
 from repro.analysis import print_table, record_extra_info
 from repro.baselines.reference import unweighted_apsp
 from repro.decomposition import build_baswana_sen, verify_hierarchy
-from repro.graphs import from_edges, gnp
+from repro.graphs import from_edges
+from repro.scenarios import get_scenario
 
 
 def _stretch(g, spanner_edges):
@@ -26,7 +27,7 @@ def _stretch(g, spanner_edges):
 
 
 def _sweep():
-    g = gnp(48, 0.4, seed=91)
+    g = get_scenario("dense-gnp").graph(48, seed=91)
     rows = []
     for kappa, eps in ((1, 1.0), (2, 0.5), (3, 0.34)):
         h = build_baswana_sen(g, eps, seed=91)

@@ -13,8 +13,10 @@ Examples
     python -m repro.cli scenarios run dense-gnp --json
     python -m repro.cli scenarios sweep --sizes 16 24 --json
     python -m repro.cli sweep --workers 4                 # persisted + resumable
+    python -m repro.cli sweep --workers 4 --retries 2     # re-queue failed cells
     python -m repro.cli sweep --list-runs
     python -m repro.cli sweep --compare <run-id> --against <run-id>
+    python -m repro.cli bench graph-core                  # BENCH_graph_core.json
 
 Each command prints the exact result summary plus the measured message
 and round costs; everything runs on the literal CONGEST simulator.
@@ -24,6 +26,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import pathlib
 import sys
 from typing import List, Optional
 
@@ -241,7 +244,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
         outcome = run_sweep(args.names, sizes=args.sizes, seeds=args.seeds,
                             workers=args.workers, timeout=args.timeout,
-                            store=store, fresh=args.fresh)
+                            retries=args.retries, store=store,
+                            fresh=args.fresh)
     except (KeyError, ValueError) as exc:
         message = exc.args[0] if exc.args else str(exc)
         print(f"error: {message}", file=sys.stderr)
@@ -285,6 +289,42 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             print()
             _print_comparison(comparison)
     return exit_code
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Run registered benchmarks; write one BENCH_*.json per benchmark."""
+    from repro.bench import benchmark_names, run_benchmark, write_report
+
+    if args.list:
+        for name in benchmark_names():
+            print(name)
+        return 0
+    # Fail fast on usage errors: a typo'd name or a missing --out
+    # directory must not discard minutes of completed measurements.
+    names = args.names or benchmark_names()
+    unknown = [name for name in names if name not in benchmark_names()]
+    if unknown:
+        print(f"error: unknown benchmark(s) {', '.join(unknown)}; "
+              f"known: {', '.join(benchmark_names())}", file=sys.stderr)
+        return 2
+    if args.out is not None and not pathlib.Path(args.out).is_dir():
+        print(f"error: --out {args.out} is not a directory", file=sys.stderr)
+        return 2
+    # With --json, stdout carries pure JSON (matching the other --json
+    # subcommands); progress goes to stderr.
+    progress = sys.stderr if args.json else sys.stdout
+    reports = []
+    for name in names:
+        print(f"running benchmark {name} ...", file=sys.stderr)
+        report = run_benchmark(name)
+        reports.append(report)
+        path = write_report(report, args.out)
+        print(f"wrote {path}", file=progress)
+        for key, ratio in sorted(report.speedups.items()):
+            print(f"  {key}: {ratio:.2f}x", file=progress)
+    if args.json:
+        print(json.dumps([r.as_dict() for r in reports], indent=2))
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -370,6 +410,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="worker processes (1 = in-process)")
     p.add_argument("--timeout", type=float, default=None,
                    help="per-cell wall-time budget in seconds")
+    p.add_argument("--retries", type=int, default=0,
+                   help="per-cell retry budget: re-queue timed-out or "
+                        "crashed cells up to N extra times before "
+                        "recording them as failures (attempts are "
+                        "recorded in the cell record)")
     p.add_argument("--store", default="runs",
                    help="run-store directory (default: runs/)")
     p.add_argument("--fresh", action="store_true",
@@ -388,6 +433,21 @@ def build_parser() -> argparse.ArgumentParser:
                    help="list stored runs and exit")
     p.add_argument("--json", action="store_true")
     p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser(
+        "bench",
+        help="run registered benchmarks and write BENCH_*.json reports "
+             "in the shared schema (src/repro/bench.py)")
+    p.add_argument("names", nargs="*", default=None,
+                   help="benchmarks to run (default: all registered)")
+    p.add_argument("--out", default=None,
+                   help="directory for the BENCH_*.json files "
+                        "(default: current directory)")
+    p.add_argument("--list", action="store_true",
+                   help="list registered benchmarks and exit")
+    p.add_argument("--json", action="store_true",
+                   help="also print the reports as JSON to stdout")
+    p.set_defaults(func=_cmd_bench)
     return parser
 
 

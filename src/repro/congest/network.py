@@ -214,12 +214,21 @@ def node_seed(master: int, v: int) -> int:
 def make_node_info(graph: "Graph", v: int, *,
                    inputs: Optional[Dict[int, Any]] = None,
                    known_n: bool = True, seed: int = 0) -> NodeInfo:
-    """Construct the canonical local view of node ``v``."""
+    """Construct the canonical local view of node ``v``.
+
+    Weight views come from the graph's per-node cache (CSR weight
+    slices): on undirected weighted graphs ``weights`` and
+    ``in_weights`` are one shared mapping, and repeat executions over
+    the same graph instance build no dicts at all.
+    """
     weights = None
     in_weights = None
     if graph.is_weighted:
-        weights = {u: graph.weight(v, u) for u in graph.neighbors(v)}
-        in_weights = {u: graph.weight(u, v) for u in graph.neighbors(v)}
+        if hasattr(graph, "node_weight_views"):
+            weights, in_weights = graph.node_weight_views(v)
+        else:  # pragma: no cover - duck-typed graph stand-ins
+            weights = {u: graph.weight(v, u) for u in graph.neighbors(v)}
+            in_weights = {u: graph.weight(u, v) for u in graph.neighbors(v)}
     return NodeInfo(
         id=v,
         neighbors=graph.neighbors(v),
@@ -291,14 +300,22 @@ class Network:
         self.round = 0
         self._next_inboxes: Dict[int, Inbox] = {}
         self.max_message_words = 0
-        # Precomputed adjacency arrays: O(1) neighbor membership for
+        # Precomputed adjacency views: O(1) neighbor membership for
         # point-to-point sends, and the per-node list of canonical edge
-        # keys in neighbor order for bulk congestion metering.
-        self._nbr_sets: Dict[int, frozenset] = {
-            v: frozenset(nbrs) for v, nbrs in graph.adj.items()}
-        self._edge_keys: Dict[int, Tuple[Tuple[int, int], ...]] = {
-            v: tuple(edge_key(v, u) for u in graph.adj[v])
-            for v in graph.adj}
+        # keys in neighbor order for bulk congestion metering.  Both are
+        # memoized on the Graph instance (graphs are immutable), so the
+        # differential harness and multi-algorithm sweep cells that run
+        # several Networks over one graph derive them exactly once.
+        if hasattr(graph, "nbr_sets"):
+            self._nbr_sets: Dict[int, frozenset] = graph.nbr_sets()
+            self._edge_keys: Dict[int, Tuple[Tuple[int, int], ...]] = (
+                graph.edge_keys())
+        else:  # pragma: no cover - duck-typed graph stand-ins
+            self._nbr_sets = {
+                v: frozenset(nbrs) for v, nbrs in graph.adj.items()}
+            self._edge_keys = {
+                v: tuple(edge_key(v, u) for u in graph.adj[v])
+                for v in graph.adj}
         self._size_cache: Dict[Payload, int] = {}
 
     # ------------------------------------------------------------------

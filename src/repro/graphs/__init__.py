@@ -1,6 +1,14 @@
 """Graph inputs: the communication graph plus generators and weights."""
 
-from repro.graphs.graph import EdgeKey, Graph, edge_key, from_edges
+from repro.graphs.graph import (
+    EdgeKey,
+    Graph,
+    edge_key,
+    from_edge_arrays,
+    from_edges,
+    from_edges_legacy,
+    legacy_rebuild,
+)
 from repro.graphs.generators import (
     augmenting_chain,
     complete,
@@ -26,7 +34,8 @@ from repro.graphs.weights import (
 
 __all__ = [
     "EdgeKey", "Graph", "augmenting_chain", "complete", "cycle",
-    "dumbbell", "edge_key", "from_edges", "gnp", "grid",
+    "dumbbell", "edge_key", "from_edge_arrays", "from_edges",
+    "from_edges_legacy", "gnp", "grid", "legacy_rebuild",
     "near_disconnected", "path", "power_law", "random_bipartite",
     "random_regular", "random_tree", "torus",
     "asymmetric_weights", "heavy_tailed_weights",

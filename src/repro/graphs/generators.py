@@ -29,25 +29,42 @@ dilation).  The generators below cover:
 All generators are deterministic given ``seed`` and always return a
 *connected* graph (they add a random spanning-path patch-up when the raw
 sample is disconnected) so that distributed executions terminate.
+
+Construction goes through the CSR core of :mod:`repro.graphs.graph`:
+closed-form families and ``gnp`` emit endpoint arrays directly (no
+per-edge Python objects at all), while families whose RNG draws are
+inherently sequential (stub matching, per-pair coin flips) keep their
+edge loops -- preserving the exact RNG consumption, and therefore the
+exact graphs, of the dict-era generators -- and hand the finished edge
+set to the vectorized :func:`repro.graphs.graph.from_edges`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
-from repro.graphs.graph import EdgeKey, Graph, from_edges
+from repro.graphs.graph import (
+    EdgeKey,
+    Graph,
+    from_edge_arrays,
+    from_edges,
+)
 
 
 def _rng(seed: int) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
-def _connect(n: int, edges: set, rng: np.random.Generator) -> None:
-    """Patch a possibly-disconnected edge set into a connected one.
+def _patch_pairs(n: int, edge_iter: Iterable[Tuple[int, int]],
+                 rng: np.random.Generator) -> List[Tuple[int, int]]:
+    """The spanning patch-up edges joining a sample's components.
 
-    Joins components along a random permutation; adds at most n-1 edges.
+    Unions the sampled edges, then walks one random permutation and
+    bridges consecutive nodes in different components; at most n-1
+    pairs.  The permutation is always drawn (even on connected samples)
+    so the RNG stream matches the dict-era ``_connect`` exactly.
     """
     parent = list(range(n))
 
@@ -57,70 +74,80 @@ def _connect(n: int, edges: set, rng: np.random.Generator) -> None:
             x = parent[x]
         return x
 
-    for u, v in edges:
+    for u, v in edge_iter:
         parent[find(u)] = find(v)
     order = list(rng.permutation(n))
+    pairs = []
     for a, b in zip(order, order[1:]):
         ra, rb = find(a), find(b)
         if ra != rb:
-            edges.add((min(a, b), max(a, b)))
+            pairs.append((min(a, b), max(a, b)))
             parent[ra] = rb
+    return pairs
+
+
+def _connect(n: int, edges: set, rng: np.random.Generator) -> None:
+    """Patch a possibly-disconnected edge set into a connected one.
+
+    Joins components along a random permutation; adds at most n-1 edges.
+    """
+    edges.update(_patch_pairs(n, edges, rng))
 
 
 def gnp(n: int, p: float, seed: int = 0) -> Graph:
     """Erdos-Renyi G(n, p), patched to be connected."""
     rng = _rng(seed)
-    edges = set()
-    # Vectorized upper-triangle sampling.
+    # Vectorized upper-triangle sampling; no per-edge Python objects.
     iu, ju = np.triu_indices(n, k=1)
     mask = rng.random(len(iu)) < p
-    for u, v in zip(iu[mask], ju[mask]):
-        edges.add((int(u), int(v)))
-    _connect(n, edges, rng)
-    return from_edges(n, edges, name=f"gnp(n={n},p={p})")
+    us, vs = iu[mask], ju[mask]
+    patch = _patch_pairs(n, zip(us.tolist(), vs.tolist()), rng)
+    if patch:
+        pairs = np.asarray(patch, dtype=np.int64)
+        us = np.concatenate([us, pairs[:, 0]])
+        vs = np.concatenate([vs, pairs[:, 1]])
+    return from_edge_arrays(n, us, vs, name=f"gnp(n={n},p={p})")
 
 
 def complete(n: int) -> Graph:
     """The complete graph K_n (m = n(n-1)/2)."""
-    edges = [(u, v) for u in range(n) for v in range(u + 1, n)]
-    return from_edges(n, edges, name=f"complete(n={n})")
+    iu, ju = np.triu_indices(n, k=1)
+    return from_edge_arrays(n, iu, ju, name=f"complete(n={n})")
 
 
 def path(n: int) -> Graph:
     """The path P_n -- diameter n-1, the worst case for dilation."""
-    return from_edges(n, [(i, i + 1) for i in range(n - 1)], name=f"path(n={n})")
+    us = np.arange(n - 1, dtype=np.int64)
+    return from_edge_arrays(n, us, us + 1, name=f"path(n={n})")
 
 
 def cycle(n: int) -> Graph:
     """The cycle C_n."""
-    edges = [(i, (i + 1) % n) for i in range(n)]
-    return from_edges(n, edges, name=f"cycle(n={n})")
+    us = np.arange(n, dtype=np.int64)
+    return from_edge_arrays(n, us, (us + 1) % n, name=f"cycle(n={n})")
 
 
 def grid(rows: int, cols: int) -> Graph:
     """The rows x cols grid -- moderate diameter, degree <= 4."""
-    def nid(r: int, c: int) -> int:
-        return r * cols + c
-
-    edges = []
-    for r in range(rows):
-        for c in range(cols):
-            if c + 1 < cols:
-                edges.append((nid(r, c), nid(r, c + 1)))
-            if r + 1 < rows:
-                edges.append((nid(r, c), nid(r + 1, c)))
-    return from_edges(rows * cols, edges, name=f"grid({rows}x{cols})")
+    ids = np.arange(rows * cols, dtype=np.int64).reshape(rows, cols)
+    horiz = (ids[:, :-1].ravel(), ids[:, 1:].ravel())
+    vert = (ids[:-1, :].ravel(), ids[1:, :].ravel())
+    us = np.concatenate([horiz[0], vert[0]])
+    vs = np.concatenate([horiz[1], vert[1]])
+    return from_edge_arrays(rows * cols, us, vs, name=f"grid({rows}x{cols})")
 
 
 def random_tree(n: int, seed: int = 0) -> Graph:
     """A uniformly random labelled tree (via a random attachment order)."""
     rng = _rng(seed)
-    edges = []
     order = list(rng.permutation(n))
+    us = np.zeros(max(0, n - 1), dtype=np.int64)
+    vs = np.zeros(max(0, n - 1), dtype=np.int64)
     for i in range(1, n):
         j = int(rng.integers(0, i))
-        edges.append((order[i], order[j]))
-    return from_edges(n, edges, name=f"random_tree(n={n})")
+        us[i - 1] = order[i]
+        vs[i - 1] = order[j]
+    return from_edge_arrays(n, us, vs, name=f"random_tree(n={n})")
 
 
 def dumbbell(blob: int, bridge: int, seed: int = 0) -> Graph:
@@ -131,18 +158,15 @@ def dumbbell(blob: int, bridge: int, seed: int = 0) -> Graph:
     per-edge congestion on the bridge the binding constraint.
     """
     n = 2 * blob + bridge
-    edges = []
-    for u in range(blob):
-        for v in range(u + 1, blob):
-            edges.append((u, v))
     off = blob + bridge
-    for u in range(blob):
-        for v in range(u + 1, blob):
-            edges.append((off + u, off + v))
-    chain = [blob - 1] + list(range(blob, blob + bridge)) + [off]
-    for a, b in zip(chain, chain[1:]):
-        edges.append((a, b))
-    return from_edges(n, edges, name=f"dumbbell(blob={blob},bridge={bridge})")
+    iu, ju = np.triu_indices(blob, k=1)
+    chain = np.asarray(
+        [blob - 1] + list(range(blob, blob + bridge)) + [off],
+        dtype=np.int64)
+    us = np.concatenate([iu, iu + off, chain[:-1]])
+    vs = np.concatenate([ju, ju + off, chain[1:]])
+    return from_edge_arrays(
+        n, us, vs, name=f"dumbbell(blob={blob},bridge={bridge})")
 
 
 def random_bipartite(left: int, right: int, p: float, seed: int = 0) -> Graph:
@@ -208,14 +232,14 @@ def torus(rows: int, cols: int) -> Graph:
     canonical directed workload: going "east" and coming back "west"
     cost differently around the whole ring.
     """
-    edges = set()
-    for r in range(rows):
-        for c in range(cols):
-            for rr, cc in ((r, (c + 1) % cols), ((r + 1) % rows, c)):
-                u, v = r * cols + c, rr * cols + cc
-                if u != v:  # rows/cols of 1 would wrap onto itself
-                    edges.add((min(u, v), max(u, v)))
-    return from_edges(rows * cols, edges, name=f"torus({rows}x{cols})")
+    ids = np.arange(rows * cols, dtype=np.int64).reshape(rows, cols)
+    east = np.roll(ids, -1, axis=1)
+    south = np.roll(ids, -1, axis=0)
+    us = np.concatenate([ids.ravel(), ids.ravel()])
+    vs = np.concatenate([east.ravel(), south.ravel()])
+    # Rows/cols of 1 would wrap onto themselves; the CSR core drops
+    # self-loops and collapses duplicates, matching the dict-era set.
+    return from_edge_arrays(rows * cols, us, vs, name=f"torus({rows}x{cols})")
 
 
 def power_law(n: int, exponent: float = 2.5, seed: int = 0) -> Graph:
@@ -326,5 +350,5 @@ def augmenting_chain(k: int) -> Graph:
     one long augmenting path.  Stress input for Corollary 2.8.
     """
     n = 2 * k + 2
-    return from_edges(n, [(i, i + 1) for i in range(n - 1)],
-                      name=f"augmenting_chain(k={k})")
+    us = np.arange(n - 1, dtype=np.int64)
+    return from_edge_arrays(n, us, us + 1, name=f"augmenting_chain(k={k})")

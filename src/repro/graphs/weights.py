@@ -37,7 +37,7 @@ def uniform_weights(g: Graph, w_max: int = 16, seed: int = 0) -> Graph:
         w = int(rng.integers(1, w_max + 1))
         weights[(u, v)] = w
         weights[(v, u)] = w
-    return Graph(adj=g.adj, weights=weights, name=g.name + f"+w[1,{w_max}]")
+    return g.reweighted(weights, name=g.name + f"+w[1,{w_max}]")
 
 
 def poly_range_weights(g: Graph, exponent: float = 2.0, seed: int = 0) -> Graph:
@@ -63,7 +63,7 @@ def negative_safe_weights(g: Graph, w_max: int = 16, seed: int = 0) -> Graph:
         w = int(rng.integers(1, w_max + 1))
         weights[(u, v)] = w - int(phi[u]) + int(phi[v])
         weights[(v, u)] = w - int(phi[v]) + int(phi[u])
-    return Graph(adj=g.adj, weights=weights, name=g.name + "+negsafe")
+    return g.reweighted(weights, name=g.name + "+negsafe")
 
 
 def heavy_tailed_weights(g: Graph, alpha: float = 1.2, seed: int = 0) -> Graph:
@@ -80,8 +80,7 @@ def heavy_tailed_weights(g: Graph, alpha: float = 1.2, seed: int = 0) -> Graph:
         w = min(cap, 1 + int(rng.pareto(alpha)))
         weights[(u, v)] = w
         weights[(v, u)] = w
-    return Graph(adj=g.adj, weights=weights,
-                 name=g.name + f"+pareto(a={alpha})")
+    return g.reweighted(weights, name=g.name + f"+pareto(a={alpha})")
 
 
 def asymmetric_weights(g: Graph, w_max: int = 16, seed: int = 0) -> Graph:
@@ -91,4 +90,4 @@ def asymmetric_weights(g: Graph, w_max: int = 16, seed: int = 0) -> Graph:
     for u, v in g.edges():
         weights[(u, v)] = int(rng.integers(1, w_max + 1))
         weights[(v, u)] = int(rng.integers(1, w_max + 1))
-    return Graph(adj=g.adj, weights=weights, name=g.name + "+asym")
+    return g.reweighted(weights, name=g.name + "+asym")

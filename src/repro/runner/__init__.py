@@ -16,7 +16,11 @@ regression-tracked workload:
 * :mod:`repro.runner.compare` -- cell-by-cell regression diff between
   two runs (verdict flips, metered drift, wall-time ratios);
 * :mod:`repro.runner.engine` -- the high-level
-  plan -> resume -> execute -> persist pipeline.
+  plan -> resume -> execute -> persist pipeline;
+* :mod:`repro.runner.graph_cache` -- the per-worker content-addressed
+  LRU of built scenario graphs (keyed by derived construction seed)
+  that the differential harness draws from, so same-scenario cells in
+  one worker stop rebuilding their graph.
 
 Consumers: the ``repro sweep`` CLI command, ``repro scenarios sweep``,
 :func:`repro.testing.sweep`, and ``examples/parallel_sweep.py``.

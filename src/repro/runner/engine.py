@@ -79,6 +79,7 @@ def run_sweep(names: Optional[Sequence[str]] = None, *,
               seeds: Sequence[int] = (0,),
               workers: int = 1,
               timeout: Optional[float] = None,
+              retries: int = 0,
               store: Optional[RunStore] = None,
               fresh: bool = False,
               revision: Optional[str] = None,
@@ -90,6 +91,9 @@ def run_sweep(names: Optional[Sequence[str]] = None, *,
     incomplete same-params run exists.  ``specs`` overrides the planned
     work-list (the tests use it to inject fault-instrumented specs);
     names/sizes/seeds still name the sweep in the manifest.
+    ``retries`` is the per-cell retry budget: timed-out/crashed cells
+    are re-queued up to that many extra times before being recorded as
+    failures (the cell record carries ``attempts``).
     """
     specs = (build_specs(names, sizes=sizes, seeds=seeds)
              if specs is None else list(specs))
@@ -119,7 +123,7 @@ def run_sweep(names: Optional[Sequence[str]] = None, *,
             on_result(result)
 
     executed = run_cells(todo, workers=workers, timeout=timeout,
-                         on_result=persist)
+                         retries=retries, on_result=persist)
 
     merged = dict(cached)
     for result in executed:

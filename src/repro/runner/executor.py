@@ -91,10 +91,29 @@ def execute_cell(spec: JobSpec,
                           error=traceback.format_exc(limit=8))
 
 
+def _merge_attempts(result: CellResult,
+                    previous: Optional[CellResult],
+                    attempt: int) -> CellResult:
+    """Stamp the attempt count and fold earlier attempts' wall time in."""
+    result.attempts = attempt
+    if previous is not None:
+        result.wall_time += previous.wall_time
+    return result
+
+
 def run_cells(specs: Sequence[JobSpec], *, workers: int = 1,
               timeout: Optional[float] = None,
+              retries: int = 0,
               on_result: Optional[OnResult] = None) -> List[CellResult]:
     """Execute every spec; return results in submitted spec order.
+
+    ``retries`` is the per-cell retry budget: a cell whose attempt ends
+    in ``timeout`` or ``error`` is re-queued up to that many extra
+    times before its (last) failure is recorded; the recorded result
+    carries ``attempts`` and the wall time summed over all attempts.
+    Only the final outcome of a cell reaches ``on_result`` and the
+    store -- intermediate failures are discarded, so resume and compare
+    semantics are unchanged.
 
     ``on_result`` fires once per cell *as it completes* (out of order
     under ``workers>1``) -- the hook the run store uses to persist each
@@ -106,22 +125,32 @@ def run_cells(specs: Sequence[JobSpec], *, workers: int = 1,
     ``execute_cell`` never raises, so a future that raises signals pool
     infrastructure failure (e.g. an OOM-killed worker breaking the
     pool).  Such cells -- which may never have been attempted -- come
-    back as ``status=error`` results but are *not* fed to ``on_result``:
-    persisting them would mark the run complete and stop resume from
-    ever retrying cells the broken pool never ran.
+    back as ``status=error`` results but are *not* fed to ``on_result``
+    (persisting them would mark the run complete and stop resume from
+    ever retrying cells the broken pool never ran), and are not
+    retried either: the pool itself is no longer trustworthy.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
     if workers == 1:
         results = []
         for spec in specs:
             result = execute_cell(spec, timeout)
+            attempt = 1
+            while result.status != DONE and attempt <= retries:
+                attempt += 1
+                result = _merge_attempts(execute_cell(spec, timeout),
+                                         result, attempt)
             if on_result is not None:
                 on_result(result)
             results.append(result)
         return results
 
     slots: List[Optional[CellResult]] = [None] * len(specs)
+    attempts = [1] * len(specs)
+    previous: List[Optional[CellResult]] = [None] * len(specs)
     with ProcessPoolExecutor(max_workers=workers) as pool:
         pending = {pool.submit(execute_cell, spec, timeout): i
                    for i, spec in enumerate(specs)}
@@ -135,7 +164,18 @@ def run_cells(specs: Sequence[JobSpec], *, workers: int = 1,
                     except Exception:
                         slots[index] = CellResult(
                             spec=specs[index], status=ERROR, wall_time=0.0,
-                            error=traceback.format_exc(limit=4))
+                            error=traceback.format_exc(limit=4),
+                            attempts=attempts[index])
+                        continue
+                    result = _merge_attempts(result, previous[index],
+                                             attempts[index])
+                    if result.status != DONE and attempts[index] <= retries:
+                        # Re-queue the failed cell on the pool; only its
+                        # final outcome is recorded.
+                        attempts[index] += 1
+                        previous[index] = result
+                        pending[pool.submit(execute_cell, specs[index],
+                                            timeout)] = index
                         continue
                     slots[index] = result
                     if on_result is not None:

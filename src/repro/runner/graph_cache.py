@@ -1,0 +1,92 @@
+"""A per-worker, content-addressed LRU of built scenario graphs.
+
+Scenario construction is seed-deterministic: the graph a cell runs on
+is fully determined by ``(scenario name, size, derived construction
+seed)``, where the derived seed is :meth:`Scenario.seed_for` of the
+caller seed (the same derivation recorded as ``derived_seed`` in every
+differential record).  That makes the built graph content-addressed by
+that key -- so a sweep worker chewing through many cells of the same
+scenario x size (one per bound algorithm, or simulator + reference +
+envelope passes inside one differential cell) can build the graph once
+and reuse it, caches and all (``Graph`` memoizes its simulator
+precomputation and weight views per instance; see
+:mod:`repro.graphs.graph`).
+
+The cache is process-local by design: worker processes never ship
+graphs across the pool boundary (only :class:`JobSpec`/:class:`CellResult`
+records cross it), so each worker warms its own LRU as cells stream in.
+Graphs are treated as immutable by every consumer, which is what makes
+sharing one instance across executions sound -- the workers-parity and
+CSR/legacy byte-identity tests pin that executions over a cached graph
+equal executions over a fresh build.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.graphs.graph import Graph
+    from repro.scenarios.registry import Scenario
+
+CacheKey = Tuple[str, int, int]  # (scenario name, size, derived seed)
+
+# A worker sees at most a handful of distinct scenario x size keys in
+# flight at once; 32 graphs comfortably covers a full-matrix sweep's
+# working set while bounding memory on dense entries.
+DEFAULT_MAXSIZE = 32
+
+_cache: "OrderedDict[CacheKey, Graph]" = OrderedDict()
+_maxsize = DEFAULT_MAXSIZE
+_hits = 0
+_misses = 0
+
+
+def scenario_graph(scenario: "Scenario", size: Optional[int] = None,
+                   seed: int = 0) -> "Graph":
+    """The scenario's graph at ``size``, served from the LRU.
+
+    Equivalent to ``scenario.graph(size, seed=seed)`` -- same
+    validation, same derived construction seed -- but same-key calls
+    after the first return the one cached instance instead of
+    rebuilding.  Keys include the derived seed, so cells with different
+    caller seeds (or registry entries whose derivation changed) can
+    never share a graph.
+    """
+    global _hits, _misses
+    size = scenario.default_size if size is None else size
+    key = (scenario.name, size, scenario.seed_for(size, seed))
+    graph = _cache.get(key)
+    if graph is not None:
+        _hits += 1
+        _cache.move_to_end(key)
+        return graph
+    _misses += 1
+    graph = scenario.graph(size, seed=seed)
+    if _maxsize > 0:
+        _cache[key] = graph
+        while len(_cache) > _maxsize:
+            _cache.popitem(last=False)
+    return graph
+
+
+def stats() -> Dict[str, int]:
+    """Hit/miss/size counters (process-local, for tests and reports)."""
+    return {"hits": _hits, "misses": _misses, "size": len(_cache),
+            "maxsize": _maxsize}
+
+
+def clear() -> None:
+    """Drop every cached graph and reset the counters."""
+    global _hits, _misses
+    _cache.clear()
+    _hits = 0
+    _misses = 0
+
+
+def configure(maxsize: int) -> None:
+    """Set the LRU capacity (0 disables caching); clears the cache."""
+    global _maxsize
+    _maxsize = maxsize
+    clear()

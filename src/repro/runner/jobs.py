@@ -93,6 +93,11 @@ class CellResult:
     ``record`` is the ``DifferentialRecord.as_dict()`` payload when
     ``status == "done"`` and ``None`` otherwise; keeping it as a plain
     dict makes the result picklable and JSONL-serializable as-is.
+
+    ``attempts`` counts how many times the cell was executed: 1 for a
+    first-try outcome, more when the executor's retry budget re-queued
+    a timed-out or crashed cell (``wall_time`` is the total across
+    attempts).
     """
 
     spec: JobSpec
@@ -100,6 +105,7 @@ class CellResult:
     wall_time: float
     record: Optional[Dict[str, Any]] = None
     error: Optional[str] = None
+    attempts: int = 1
 
     @property
     def passed(self) -> bool:
@@ -122,7 +128,8 @@ class CellResult:
     def as_dict(self) -> Dict[str, Any]:
         return {"key": self.key, "spec": self.spec.as_dict(),
                 "status": self.status, "wall_time": self.wall_time,
-                "record": self.record, "error": self.error}
+                "record": self.record, "error": self.error,
+                "attempts": self.attempts}
 
     @classmethod
     def from_dict(cls, payload: Dict[str, Any]) -> "CellResult":
@@ -130,7 +137,8 @@ class CellResult:
                    status=payload["status"],
                    wall_time=payload["wall_time"],
                    record=payload.get("record"),
-                   error=payload.get("error"))
+                   error=payload.get("error"),
+                   attempts=payload.get("attempts", 1))
 
 
 def build_specs(names: Optional[Iterable[str]] = None, *,

@@ -106,7 +106,16 @@ class DifferentialRecord:
 def run_differential(scenario: Scenario | str, algorithm: str, *,
                      size: Optional[int] = None,
                      seed: int = 0) -> DifferentialRecord:
-    """Run one matrix cell: scenario graph -> simulator -> oracle."""
+    """Run one matrix cell: scenario graph -> simulator -> oracle.
+
+    The scenario graph is served from the per-process LRU of
+    :mod:`repro.runner.graph_cache`, keyed by the derived construction
+    seed: consecutive cells over the same scenario x size (one per
+    bound algorithm) reuse one built graph -- and its memoized
+    simulator precomputation -- instead of rebuilding it per cell.
+    """
+    from repro.runner.graph_cache import scenario_graph
+
     if isinstance(scenario, str):
         scenario = get_scenario(scenario)
     if algorithm not in scenario.algorithms:
@@ -117,7 +126,7 @@ def run_differential(scenario: Scenario | str, algorithm: str, *,
     size = scenario.default_size if size is None else size
     derived_seed = scenario.seed_for(size, seed)
     start = time.perf_counter()
-    graph = scenario.graph(size, seed=seed)
+    graph = scenario_graph(scenario, size, seed=seed)
     result = binding.run(graph, derived_seed)
     wall_time = time.perf_counter() - start
     envelope = binding.envelope.evaluate(graph.n, graph.m,

@@ -1,0 +1,208 @@
+"""The CSR graph core + zero-rebuild cache layer (ISSUE 3).
+
+Pins the tentpole equivalences:
+
+* executions over a CSR-constructed graph are byte-identical to
+  executions over the preserved dict-era construction
+  (:func:`repro.graphs.graph.from_edges_legacy`), under both the
+  vectorized and the scalar simulator paths;
+* scenario x algorithm binding results (outputs, checks, metrics,
+  detail) agree between the two construction paths;
+* ``make_node_info`` weight views: one shared mapping on undirected
+  weighted graphs, distinct and correctly-oriented mappings on
+  directed/asymmetric ones;
+* the per-worker graph LRU serves same-key cells from cache, never
+  crosses construction seeds, and leaves records byte-identical.
+"""
+
+import pytest
+
+from repro.congest.machine import run_machines
+from repro.congest.network import make_node_info
+from repro.graphs.graph import (
+    from_edges,
+    from_edges_legacy,
+    legacy_rebuild,
+)
+from repro.primitives import BFSMachine, LubyMISMachine
+from repro.runner import graph_cache
+from repro.scenarios import get_binding, get_scenario
+from repro.testing import run_differential
+
+# Six registry scenarios spanning the regimes the cache layer touches:
+# dense/sparse unweighted, symmetric weighted, directed weights, hub
+# degrees, bipartite.
+MATRIX_SCENARIOS = (
+    "dense-gnp",
+    "sparse-gnp",
+    "grid-weighted",
+    "dense-gnp-asymmetric",
+    "power-law",
+    "bipartite-balanced",
+)
+
+WORKLOADS = (
+    ("bfs", lambda info: BFSMachine(info, root=0)),
+    ("luby", LubyMISMachine),
+)
+
+
+def execution_signature(execution):
+    metrics = execution.metrics
+    return (execution.outputs, execution.rounds, execution.halted,
+            metrics.as_dict(), dict(metrics.edge_congestion),
+            metrics.max_message_words)
+
+
+def _matrix_case(name, size, seed):
+    scenario = get_scenario(name)
+    graph = scenario.graph(size, seed=seed)
+    legacy = legacy_rebuild(graph)
+    assert legacy.adj == graph.adj
+    assert legacy.weights == graph.weights
+    for label, factory in WORKLOADS:
+        signatures = [
+            execution_signature(
+                run_machines(g, factory, seed=seed, fast_path=fast))
+            for g in (graph, legacy) for fast in (True, False)]
+        assert all(sig == signatures[0] for sig in signatures), (
+            f"{name} x {label}: CSR/legacy x fast/scalar paths diverged")
+
+
+@pytest.mark.scenario
+@pytest.mark.parametrize("name", MATRIX_SCENARIOS)
+def test_csr_legacy_fastpath_equivalence(name):
+    """Tier 1: the 2x2 construction x simulator-path matrix agrees."""
+    _matrix_case(name, size=None, seed=0)
+
+
+@pytest.mark.slow
+@pytest.mark.scenario
+@pytest.mark.parametrize("name", MATRIX_SCENARIOS)
+def test_csr_legacy_fastpath_equivalence_at_size(name, scenario_size):
+    """Tier 2: the same matrix at the operator-chosen workload size."""
+    _matrix_case(name, size=scenario_size, seed=1)
+
+
+@pytest.mark.scenario
+@pytest.mark.parametrize("name", ("dense-gnp", "dense-gnp-weighted",
+                                  "bipartite-balanced"))
+def test_binding_records_identical_across_construction(name):
+    """Scenario bindings produce byte-identical records on both paths."""
+    scenario = get_scenario(name)
+    graph = scenario.graph()
+    derived = scenario.seed_for(scenario.default_size)
+    for algorithm in scenario.algorithms:
+        binding = get_binding(algorithm)
+        a = binding.run(graph, derived)
+        b = binding.run(legacy_rebuild(graph), derived)
+        assert (a.ok, a.checks, a.metrics, a.detail) == \
+            (b.ok, b.checks, b.metrics, b.detail), f"{name} x {algorithm}"
+
+
+def test_from_edges_matches_legacy_dedupe_and_sort():
+    edges = [(3, 1), (1, 3), (0, 2), (2, 2), (4, 0), (0, 4)]
+    a = from_edges(5, edges)
+    b = from_edges_legacy(5, edges)
+    assert a.adj == b.adj
+    assert a.m == b.m == 3
+    assert list(a.edges()) == list(b.edges())
+
+
+# ---------------------------------------------------------------------------
+# Weight views (the make_node_info dict fix)
+# ---------------------------------------------------------------------------
+
+def test_symmetric_weights_share_one_view():
+    g = get_scenario("grid-weighted").graph()
+    for v in g.nodes():
+        info = make_node_info(g, v)
+        assert info.weights is info.in_weights, \
+            "undirected weights must reuse one mapping"
+        assert info.weights == {u: g.weight(v, u) for u in g.neighbors(v)}
+        # Repeat construction serves the same cached view objects.
+        again = make_node_info(g, v)
+        assert again.weights is info.weights
+
+
+@pytest.mark.parametrize("name", ("dense-gnp-asymmetric",
+                                  "torus-asymmetric",
+                                  "dense-gnp-negative"))
+def test_asymmetric_weights_keep_distinct_views(name):
+    g = get_scenario(name).graph()
+    assert not g.weights_symmetric
+    saw_direction_gap = False
+    for v in g.nodes():
+        info = make_node_info(g, v)
+        assert info.weights is not info.in_weights
+        for u in g.neighbors(v):
+            assert info.weight_to(u) == g.weight(v, u)
+            assert info.weight_from(u) == g.weight(u, v)
+            saw_direction_gap |= g.weight(v, u) != g.weight(u, v)
+    assert saw_direction_gap, f"{name} should be genuinely directed"
+
+
+def test_unweighted_graphs_have_no_views():
+    g = get_scenario("dense-gnp").graph()
+    info = make_node_info(g, 0)
+    assert info.weights is None and info.in_weights is None
+    assert info.weight_to(info.neighbors[0]) == 1
+    assert info.weight_from(info.neighbors[0]) == 1
+
+
+# ---------------------------------------------------------------------------
+# The per-worker graph LRU
+# ---------------------------------------------------------------------------
+
+@pytest.fixture
+def fresh_cache():
+    graph_cache.configure(graph_cache.DEFAULT_MAXSIZE)
+    yield
+    graph_cache.configure(graph_cache.DEFAULT_MAXSIZE)
+
+
+def test_graph_lru_hits_same_key_cells(fresh_cache):
+    scenario = get_scenario("dense-gnp")
+    first = graph_cache.scenario_graph(scenario, 14, seed=0)
+    second = graph_cache.scenario_graph(scenario, 14, seed=0)
+    assert second is first, "same-key cells must share one built graph"
+    stats = graph_cache.stats()
+    assert stats["hits"] == 1 and stats["misses"] == 1
+
+
+def test_graph_lru_never_crosses_construction_seeds(fresh_cache):
+    scenario = get_scenario("dense-gnp")
+    base = graph_cache.scenario_graph(scenario, 14, seed=0)
+    other_seed = graph_cache.scenario_graph(scenario, 14, seed=1)
+    other_size = graph_cache.scenario_graph(scenario, 16, seed=0)
+    assert other_seed is not base and other_seed.adj != base.adj
+    assert other_size is not base
+    assert graph_cache.stats()["hits"] == 0
+    # The cached instances equal a fresh uncached build exactly.
+    assert base.adj == scenario.graph(14, seed=0).adj
+
+
+def test_graph_lru_disabled_and_evicting(fresh_cache):
+    scenario = get_scenario("dense-gnp")
+    graph_cache.configure(0)
+    a = graph_cache.scenario_graph(scenario, 14, seed=0)
+    b = graph_cache.scenario_graph(scenario, 14, seed=0)
+    assert a is not b and a.adj == b.adj
+    graph_cache.configure(1)
+    graph_cache.scenario_graph(scenario, 14, seed=0)
+    graph_cache.scenario_graph(scenario, 16, seed=0)  # evicts size 14
+    assert graph_cache.stats()["size"] == 1
+    graph_cache.scenario_graph(scenario, 14, seed=0)
+    assert graph_cache.stats()["misses"] == 3
+
+
+def test_differential_records_identical_with_and_without_cache(fresh_cache):
+    """The LRU must not change a single recorded byte."""
+    graph_cache.configure(0)
+    cold = run_differential("dense-gnp", "apsp-unweighted", seed=2)
+    graph_cache.configure(graph_cache.DEFAULT_MAXSIZE)
+    warm_miss = run_differential("dense-gnp", "apsp-unweighted", seed=2)
+    warm_hit = run_differential("dense-gnp", "apsp-unweighted", seed=2)
+    assert graph_cache.stats()["hits"] >= 1
+    assert cold.canonical_dict() == warm_miss.canonical_dict() \
+        == warm_hit.canonical_dict()

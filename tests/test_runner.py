@@ -279,3 +279,48 @@ def test_smoke_parallel_sweep(tmp_path):
     summary = outcome.summary()
     assert summary["statuses"] == {"done": summary["cells"]}
     assert summary["wall_time"] > 0
+
+
+# ---------------------------------------------------------------------------
+# The per-cell retry budget (repro sweep --retries N)
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_retry_budget_requeues_failed_cells(workers):
+    """Timed-out cells are re-attempted up to the budget; attempts and
+    the total wall time across attempts land in the cell record."""
+    slow = JobSpec("path", "apsp-unweighted", 8, 0, delay=30.0)
+    fine = JobSpec("cycle", "apsp-unweighted", 8, 0)
+    outcome = run_sweep(specs=[slow, fine], workers=workers,
+                        timeout=0.2, retries=2)
+    timed_out, completed = outcome.results
+    assert timed_out.status == TIMEOUT
+    assert timed_out.attempts == 3, "budget of 2 = three executions"
+    assert timed_out.wall_time >= 3 * 0.2
+    assert completed.status == DONE and completed.attempts == 1
+
+
+def test_retry_budget_covers_erroring_cells():
+    outcome = run_sweep(specs=[JobSpec("no-such-scenario", "cover", 8, 0)],
+                        retries=1)
+    (result,) = outcome.results
+    assert result.status == "error"
+    assert result.attempts == 2
+    assert "unknown scenario" in result.error
+
+
+def test_attempts_round_trip_and_default():
+    result = CellResult(spec=JobSpec("path", "apsp-unweighted", 8, 0),
+                        status=TIMEOUT, wall_time=1.5, error="x", attempts=3)
+    payload = json.loads(json.dumps(result.as_dict()))
+    assert payload["attempts"] == 3
+    assert CellResult.from_dict(payload).attempts == 3
+    # Pre-retry-era rows (no attempts field) load as one attempt.
+    payload.pop("attempts")
+    assert CellResult.from_dict(payload).attempts == 1
+
+
+def test_retries_do_not_change_healthy_sweep_records():
+    base = run_sweep(["path"]).results
+    retried = run_sweep(["path"], retries=2).results
+    assert _canonical_bytes(base) == _canonical_bytes(retried)
