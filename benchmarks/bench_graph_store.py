@@ -1,0 +1,69 @@
+"""Regenerate BENCH_graph_store.json: the on-disk graph snapshot store.
+
+Two measurements over the cache chain of ``repro.runner.graph_cache``
+(in-process LRU -> on-disk store -> build-and-publish):
+
+* **per-graph serving cost** -- producing one usable ``Graph`` for
+  three snapshot shapes (dense/sparse unweighted CSR, weighted CSR +
+  ordered weight arrays): cold generator build vs. mmap'd snapshot
+  load (``np.load(mmap_mode="r")``) vs. in-process LRU hit;
+* **sweep construction, cold vs. warm store** -- the whole per-cell
+  graph construction bill of a fresh sweep invocation: against an
+  empty store (first touch of every key runs the generator and
+  publishes) vs. against a warmed store (first touch mmaps the
+  snapshot).  This is the acceptance headline (>= 2x): it is exactly
+  what every new pool worker and every re-invoked sweep pays.
+
+Run from the repo root (writes next to the other BENCH_*.json files)::
+
+    PYTHONPATH=src python benchmarks/bench_graph_store.py
+
+or equivalently ``repro bench graph-store`` (``--smoke`` shrinks the
+workloads for CI).  The measurement itself lives in
+:mod:`repro.bench`, so this script and the CLI always agree.  Running
+under pytest executes the same measurement once and sanity-checks the
+headline speedups.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+
+def run(out_dir=None):
+    from repro.bench import run_benchmark, write_report
+
+    report = run_benchmark("graph-store")
+    path = write_report(report, out_dir)
+    for key, ratio in sorted(report.speedups.items()):
+        print(f"{key}: {ratio:.2f}x")
+    print(f"wrote {path}")
+    return report
+
+
+def test_graph_store_bench(benchmark):
+    """Re-measure and gate the ratios; does NOT rewrite the checked-in
+    JSON (regenerate that with ``repro bench graph-store`` or by
+    running this file as a script)."""
+    from conftest import run_once
+
+    from repro.analysis import record_extra_info
+    from repro.bench import run_benchmark
+
+    report = run_once(benchmark, lambda: run_benchmark("graph-store"))
+    # The acceptance headline: a warm store must eliminate >= 2x of a
+    # sweep's per-cell construction time vs. a cold one.  The mmap load
+    # must also beat the generator on every snapshot shape, and an LRU
+    # hit stays the fastest tier of the chain by a wide margin.
+    assert report.speedups["sweep_construction_warm_vs_cold"] >= 2.0, \
+        report.speedups
+    for name in ("dense-gnp", "sparse-gnp", "grid-weighted"):
+        assert report.speedups[f"mmap_vs_cold.{name}"] > 1.0, report.speedups
+        assert report.speedups[f"lru_vs_cold.{name}"] > 10.0, report.speedups
+    record_extra_info(benchmark, "", **{
+        k.replace(".", "_"): round(v, 2)
+        for k, v in report.speedups.items()})
+
+
+if __name__ == "__main__":
+    run(pathlib.Path(__file__).resolve().parent.parent)

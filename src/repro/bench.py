@@ -25,11 +25,17 @@ Registered today:
   vs. the cache layer.  Writes ``BENCH_graph_core.json``.
 * ``simulator-fastpath`` -- the PR-1 round-loop benchmark (scalar vs.
   vectorized broadcast delivery) re-expressed in the shared schema.
+* ``graph-store`` -- the on-disk snapshot store (:mod:`repro.store`):
+  cold generator build vs. mmap'd snapshot load vs. in-process LRU hit
+  per scenario, plus a sweep's whole per-cell construction bill under
+  a cold store (build + publish every key) vs. a warm one (mmap every
+  key).  Supports ``--smoke``.  Writes ``BENCH_graph_store.json``.
 """
 
 from __future__ import annotations
 
 import contextlib
+import inspect
 import json
 import pathlib
 import platform
@@ -86,12 +92,21 @@ def benchmark_names() -> List[str]:
     return sorted(BENCHMARKS)
 
 
-def run_benchmark(name: str) -> BenchReport:
+def run_benchmark(name: str, smoke: bool = False) -> BenchReport:
+    """Run one registered benchmark.
+
+    ``smoke=True`` asks for the fast-CI variant: benchmarks whose
+    factory accepts a ``smoke`` keyword shrink their workloads and reps
+    (and stamp ``smoke: true`` into their extras); benchmarks without
+    the keyword just run normally.
+    """
     try:
         fn = BENCHMARKS[name]
     except KeyError:
         known = ", ".join(benchmark_names())
         raise KeyError(f"unknown benchmark {name!r}; known: {known}") from None
+    if smoke and "smoke" in inspect.signature(fn).parameters:
+        return fn(smoke=True)
     return fn()
 
 
@@ -176,6 +191,19 @@ def _dict_era_construction():
 
 @register_benchmark("graph-core")
 def bench_graph_core() -> BenchReport:
+    from repro.runner import graph_cache
+
+    # The measurement is defined against the default, *storeless* cache
+    # chain: with REPRO_GRAPH_STORE_DIR exported, store publishes and
+    # mmap hits would leak into every timing (and snapshots into the
+    # user's store).  Disconnect for the duration, then restore.
+    with _graph_cache_state():
+        graph_cache.configure(graph_cache.DEFAULT_MAXSIZE)
+        graph_cache.configure_store(None)
+        return _measure_graph_core()
+
+
+def _measure_graph_core() -> BenchReport:
     from repro.graphs import gnp
     from repro.graphs.graph import (
         from_edges,
@@ -300,6 +328,126 @@ def bench_graph_core() -> BenchReport:
                   f"{_SPARSE[0]}(size={_SPARSE[1]}) construction; "
                   f"gnp(n={_REPEAT_N},p=0.5)+w[1,8] x 3 algorithms repeat; "
                   f"2-scenario sweep at size {sizes[0]}"),
+        timings=timings, speedups=speedups, extra=extra)
+
+
+# ---------------------------------------------------------------------------
+# graph-store: the on-disk content-addressed snapshot store
+# ---------------------------------------------------------------------------
+
+# Scenarios spanning the snapshot formats: dense/sparse unweighted CSR
+# and a weighted graph (CSR + ordered weight arrays).  Sizes are large
+# enough that generator work dominates the fixed per-load costs
+# (manifest parse, file headers) the mmap path pays.
+_STORE_CASES = (("dense-gnp", 192), ("sparse-gnp", 512),
+                ("grid-weighted", 400))
+_STORE_CASES_SMOKE = (("dense-gnp", 24), ("sparse-gnp", 48),
+                      ("grid-weighted", 36))
+
+
+@contextlib.contextmanager
+def _graph_cache_state():
+    """Snapshot + restore the process-wide graph cache configuration."""
+    from repro.runner import graph_cache
+
+    store = graph_cache.effective_store()
+    maxsize = graph_cache.effective_maxsize()
+    try:
+        yield
+    finally:
+        graph_cache.configure(maxsize)
+        graph_cache.configure_store(None if store is None else store.root)
+
+
+@register_benchmark("graph-store")
+def bench_graph_store(smoke: bool = False) -> BenchReport:
+    import shutil
+    import tempfile
+
+    from repro.runner import graph_cache
+    from repro.scenarios import get_scenario
+    from repro.store import GraphStore
+
+    cases = _STORE_CASES_SMOKE if smoke else _STORE_CASES
+    reps = 1 if smoke else 3
+    timings: Dict[str, float] = {}
+    speedups: Dict[str, float] = {}
+    extra: Dict[str, Any] = {"smoke": smoke}
+
+    with _graph_cache_state(), tempfile.TemporaryDirectory() as tmp:
+        root = pathlib.Path(tmp)
+        store = GraphStore(root / "warm")
+
+        # -- per-graph: cold generator build vs mmap load vs LRU hit --
+        for name, size in cases:
+            scenario = get_scenario(name)
+            derived = scenario.seed_for(size, 0)
+            graph = scenario.graph(size)
+            # Explicit checks, not asserts: these are load-bearing (the
+            # publish populates the warm store every later measurement
+            # reads) and must survive `python -O`.
+            if not store.publish(scenario.name, size, derived, graph):
+                raise RuntimeError(f"{name}: snapshot publish failed")
+            loaded = store.load(scenario.name, size, derived)
+            if (loaded is None or loaded.adj != graph.adj
+                    or loaded.weights != graph.weights):
+                raise RuntimeError(f"{name}: snapshot diverged from build")
+
+            cold = best_of(lambda: scenario.graph(size), reps)
+            mmap_load = best_of(
+                lambda: store.load(scenario.name, size, derived), reps)
+            graph_cache.configure(graph_cache.DEFAULT_MAXSIZE)
+            graph_cache.configure_store(None)
+            graph_cache.scenario_graph(scenario, size)  # warm the LRU
+            lru_hit = best_of(
+                lambda: graph_cache.scenario_graph(scenario, size), reps)
+            timings[f"graph.{name}.cold_build"] = cold
+            timings[f"graph.{name}.store_mmap_load"] = mmap_load
+            timings[f"graph.{name}.lru_hit"] = lru_hit
+            speedups[f"mmap_vs_cold.{name}"] = cold / mmap_load
+            speedups[f"lru_vs_cold.{name}"] = cold / lru_hit
+            extra[name] = {"n": graph.n, "m": graph.m, "size": size,
+                           "weighted": graph.weights is not None}
+
+        # -- per-cell sweep construction: cold store vs warm store -----
+        # Models a fresh `repro sweep` invocation's construction bill:
+        # every cell asks the chain for its graph, the LRU starts
+        # empty.  Cold: the store is empty too, so the first touch of
+        # every key runs the generator and publishes.  Warm: every
+        # first touch mmaps the published snapshot.  Remaining cells
+        # LRU-hit in both worlds, exactly as in a real sweep.
+        def construction_pass(store_dir):
+            graph_cache.configure(graph_cache.DEFAULT_MAXSIZE)
+            graph_cache.configure_store(store_dir)
+            start = time.perf_counter()
+            for name, size in cases:
+                scenario = get_scenario(name)
+                for _ in scenario.algorithms:
+                    graph_cache.scenario_graph(scenario, size)
+            return time.perf_counter() - start
+
+        cold_times, warm_times = [], []
+        for rep in range(reps):
+            cold_root = root / f"cold-{rep}"
+            cold_times.append(construction_pass(cold_root))
+            shutil.rmtree(cold_root)
+            warm_times.append(construction_pass(store.root))
+        cold_sweep, warm_sweep = min(cold_times), min(warm_times)
+        timings["sweep_construction.cold_store"] = cold_sweep
+        timings["sweep_construction.warm_store"] = warm_sweep
+        speedups["sweep_construction_warm_vs_cold"] = cold_sweep / warm_sweep
+        extra["sweep_construction"] = {
+            "cells": sum(len(get_scenario(name).algorithms)
+                         for name, _ in cases),
+            "cases": [f"{name}@{size}" for name, size in cases],
+        }
+        extra["store"] = store.stat()
+        extra["store"].pop("root", None)  # tempdir path: not reproducible
+
+    return BenchReport(
+        name="graph-store",
+        scenario=" + ".join(f"{name}(size={size})" for name, size in cases)
+                 + " snapshots; cold vs warm sweep construction",
         timings=timings, speedups=speedups, extra=extra)
 
 

@@ -14,8 +14,12 @@ Examples
     python -m repro.cli scenarios sweep --sizes 16 24 --json
     python -m repro.cli sweep --workers 4                 # persisted + resumable
     python -m repro.cli sweep --workers 4 --retries 2     # re-queue failed cells
+    python -m repro.cli sweep --no-store                  # skip the graph store
     python -m repro.cli sweep --list-runs
     python -m repro.cli sweep --compare <run-id> --against <run-id>
+    python -m repro.cli store ls                          # graph snapshots on disk
+    python -m repro.cli store warm --names dense-gnp      # pre-build snapshots
+    python -m repro.cli store gc --keep-last 50
     python -m repro.cli bench graph-core                  # BENCH_graph_core.json
 
 Each command prints the exact result summary plus the measured message
@@ -197,10 +201,10 @@ def _print_comparison(comparison) -> None:
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     """The runner-backed sweep: persist / resume / list / compare."""
-    from repro.runner import RunStore, compare_runs, run_sweep
+    from repro.runner import RunStore, compare_runs, graph_cache, run_sweep
     from repro.testing import summarize
 
-    store = RunStore(args.store)
+    store = RunStore(args.runs_dir)
 
     if args.list_runs:
         rows = [(run.run_id, run.revision,
@@ -242,10 +246,19 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 _print_comparison(comparison)
             return 0 if comparison.ok else 1
 
+        if args.store:
+            graph_store_dir = (args.store_dir if args.store_dir is not None
+                               else str(pathlib.Path(args.runs_dir)
+                                        / "graph-store"))
+        else:
+            graph_store_dir = None
+            graph_cache.configure_store(None)
         outcome = run_sweep(args.names, sizes=args.sizes, seeds=args.seeds,
                             workers=args.workers, timeout=args.timeout,
                             retries=args.retries, store=store,
-                            fresh=args.fresh)
+                            fresh=args.fresh,
+                            graph_store_dir=graph_store_dir,
+                            graph_cache_size=args.graph_cache_size)
     except (KeyError, ValueError) as exc:
         message = exc.args[0] if exc.args else str(exc)
         print(f"error: {message}", file=sys.stderr)
@@ -277,6 +290,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
               f"{summary['executed']} executed, "
               f"{summary['skipped']} restored from the store, "
               f"{summary['wall_time']:.2f}s of cell wall time")
+        if summary["graph_sources"]:
+            sources = ", ".join(
+                f"{count} {source}"
+                for source, count in sorted(summary["graph_sources"].items()))
+            print(f"graph sources: {sources}"
+                  + (f" (store: {graph_store_dir})" if graph_store_dir
+                     else " (graph store off)"))
         stats = summarize(records)
         for failure in stats["failures"]:
             print(f"  FAIL {failure}")
@@ -289,6 +309,113 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             print()
             _print_comparison(comparison)
     return exit_code
+
+
+def _parse_bytes(text: str) -> int:
+    """'67108864', '64M', '2G', '512K' -> bytes (case-insensitive)."""
+    units = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30}
+    text = text.strip().lower()
+    factor = units.get(text[-1:], None)
+    if factor is not None:
+        text = text[:-1]
+    try:
+        value = int(float(text) * (factor or 1))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"not a byte size: {text!r} (use an integer, optionally "
+            f"suffixed K/M/G)") from None
+    if value < 0:
+        raise argparse.ArgumentTypeError("byte size must be >= 0")
+    return value
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    """The graph snapshot store: ls / stat / gc / warm."""
+    from repro.store import DEFAULT_STORE_DIR, GraphStore
+    from repro.store.graphs import warm
+
+    store = GraphStore(args.store_dir if args.store_dir is not None
+                       else DEFAULT_STORE_DIR)
+
+    if args.action == "ls":
+        entries = store.ls()
+        if args.json:
+            print(json.dumps(
+                [{"key": e.key, **e.identity,
+                  **e.manifest.get("graph", {}),
+                  "bytes": e.nbytes, "created_at": e.created_at}
+                 for e in entries], indent=2))
+            return 0
+        rows = [(e.key[:12], e.identity.get("scenario", "?"),
+                 e.identity.get("size", "?"),
+                 e.identity.get("derived_seed", "?"),
+                 e.manifest.get("graph", {}).get("n", "?"),
+                 e.manifest.get("graph", {}).get("m", "?"),
+                 "yes" if e.manifest.get("graph", {}).get("weighted")
+                 else "no",
+                 e.nbytes)
+                for e in entries]
+        print(format_table(
+            ["key", "scenario", "size", "derived-seed", "n", "m",
+             "weighted", "bytes"], rows))
+        print(f"\n{len(entries)} snapshot(s) under {store.root}")
+        return 0
+
+    if args.action == "stat":
+        stats = store.stat()
+        if args.json:
+            print(json.dumps(stats, indent=2))
+        else:
+            print(f"store root : {stats['root']}")
+            print(f"entries    : {stats['entries']}")
+            print(f"bytes      : {stats['bytes']}")
+            for kind, bucket in sorted(stats["kinds"].items()):
+                print(f"  {kind}: {bucket['entries']} entries, "
+                      f"{bucket['bytes']} bytes")
+        return 0
+
+    if args.action == "gc":
+        if args.keep_last is None and args.max_bytes is None:
+            print("error: gc needs --keep-last and/or --max-bytes "
+                  "(it refuses to guess how much to delete)",
+                  file=sys.stderr)
+            return 2
+        try:
+            removed = store.gc(keep_last=args.keep_last,
+                               max_bytes=args.max_bytes)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        freed = sum(e.nbytes for e in removed)
+        if args.json:
+            print(json.dumps({"removed": [e.key for e in removed],
+                              "bytes_freed": freed}, indent=2))
+        else:
+            for entry in removed:
+                print(f"removed {entry.key[:12]} "
+                      f"({entry.identity.get('scenario', '?')}, "
+                      f"{entry.nbytes} bytes)")
+            print(f"{len(removed)} snapshot(s) removed, {freed} bytes freed")
+        return 0
+
+    # warm: pre-build + publish the selected scenario graphs.
+    from repro.scenarios import all_scenarios, get_scenario
+
+    try:
+        scenarios = (all_scenarios() if args.names is None
+                     else [get_scenario(name) for name in args.names])
+        counts = warm(store, scenarios, sizes=args.sizes,
+                      seeds=tuple(args.seeds))
+    except (KeyError, ValueError) as exc:
+        message = exc.args[0] if exc.args else str(exc)
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps({**counts, "root": str(store.root)}, indent=2))
+    else:
+        print(f"warmed {store.root}: {counts['published']} published, "
+              f"{counts['skipped']} already present")
+    return 0
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -316,7 +443,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     reports = []
     for name in names:
         print(f"running benchmark {name} ...", file=sys.stderr)
-        report = run_benchmark(name)
+        report = run_benchmark(name, smoke=args.smoke)
         reports.append(report)
         path = write_report(report, args.out)
         print(f"wrote {path}", file=progress)
@@ -415,8 +542,21 @@ def build_parser() -> argparse.ArgumentParser:
                         "crashed cells up to N extra times before "
                         "recording them as failures (attempts are "
                         "recorded in the cell record)")
-    p.add_argument("--store", default="runs",
+    p.add_argument("--runs-dir", default="runs",
                    help="run-store directory (default: runs/)")
+    p.add_argument("--store", action=argparse.BooleanOptionalAction,
+                   default=True,
+                   help="serve scenario graphs through the shared on-disk "
+                        "snapshot store (mmap'd CSR arrays, shared across "
+                        "workers, sweeps, and revisions); --no-store "
+                        "disables it (default: on)")
+    p.add_argument("--store-dir", default=None,
+                   help="graph-store directory (default: "
+                        "<runs-dir>/graph-store)")
+    p.add_argument("--graph-cache-size", type=int, default=None,
+                   help="per-worker graph LRU capacity (0 disables the "
+                        "in-process cache; default: leave the configured "
+                        "size, recorded in the run manifest)")
     p.add_argument("--fresh", action="store_true",
                    help="start a new run even if an incomplete "
                         "same-params run could be resumed")
@@ -435,6 +575,42 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser(
+        "store",
+        help="the on-disk graph snapshot store: ls / stat / gc / warm "
+             "(src/repro/store/)")
+    store_sub = p.add_subparsers(dest="action", required=True)
+
+    def _store_action(name, help_text):
+        q = store_sub.add_parser(name, help=help_text)
+        q.add_argument("--store-dir", default=None,
+                       help="store directory (default: runs/graph-store)")
+        q.add_argument("--json", action="store_true")
+        q.set_defaults(func=_cmd_store)
+        return q
+
+    _store_action("ls", "list stored graph snapshots")
+    _store_action("stat", "aggregate store statistics")
+
+    q = _store_action(
+        "gc", "prune old snapshots by count and/or total bytes")
+    q.add_argument("--keep-last", type=int, default=None,
+                   help="keep only the N newest snapshots")
+    q.add_argument("--max-bytes", type=_parse_bytes, default=None,
+                   help="drop oldest snapshots until the payload fits "
+                        "(integer bytes, K/M/G suffixes accepted)")
+
+    q = _store_action(
+        "warm",
+        "pre-build and publish scenario graphs so the next sweep "
+        "starts warm")
+    q.add_argument("--names", nargs="+", default=None,
+                   help="scenarios to warm (default: all registered)")
+    q.add_argument("--sizes", type=int, nargs="+", default=None,
+                   help="workload sizes (default: each scenario's tier-1 "
+                        "default_size)")
+    q.add_argument("--seeds", type=int, nargs="+", default=[0])
+
+    p = sub.add_parser(
         "bench",
         help="run registered benchmarks and write BENCH_*.json reports "
              "in the shared schema (src/repro/bench.py)")
@@ -445,6 +621,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default: current directory)")
     p.add_argument("--list", action="store_true",
                    help="list registered benchmarks and exit")
+    p.add_argument("--smoke", action="store_true",
+                   help="fast CI mode: benchmarks that support it shrink "
+                        "their workloads and reps (numbers are not "
+                        "comparable to full runs)")
     p.add_argument("--json", action="store_true",
                    help="also print the reports as JSON to stdout")
     p.set_defaults(func=_cmd_bench)

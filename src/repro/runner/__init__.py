@@ -17,10 +17,13 @@ regression-tracked workload:
   two runs (verdict flips, metered drift, wall-time ratios);
 * :mod:`repro.runner.engine` -- the high-level
   plan -> resume -> execute -> persist pipeline;
-* :mod:`repro.runner.graph_cache` -- the per-worker content-addressed
-  LRU of built scenario graphs (keyed by derived construction seed)
-  that the differential harness draws from, so same-scenario cells in
-  one worker stop rebuilding their graph.
+* :mod:`repro.runner.graph_cache` -- the scenario-graph cache chain
+  the differential harness draws from: a per-worker content-addressed
+  LRU (keyed by derived construction seed), falling through to the
+  shared on-disk snapshot store of :mod:`repro.store` (mmap'd CSR
+  arrays) when one is configured, then to build-and-publish -- so
+  same-scenario cells stop rebuilding their graph within *and across*
+  worker processes, sweeps, and revisions.
 
 Consumers: the ``repro sweep`` CLI command, ``repro scenarios sweep``,
 :func:`repro.testing.sweep`, and ``examples/parallel_sweep.py``.

@@ -15,8 +15,8 @@ in memory -- that is what :func:`repro.testing.sweep` and the
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Set
 
 from repro.runner.executor import OnResult, run_cells
 from repro.runner.jobs import CellResult, JobSpec, build_specs
@@ -32,6 +32,7 @@ class SweepOutcome:
     skipped: int                   # cells restored from the store
     run: Optional[Run] = None      # the persisted run, if a store was used
     resumed: bool = False          # True when an incomplete run was continued
+    restored_keys: Set[str] = field(default_factory=set)  # resume-skipped
 
     @property
     def run_id(self) -> Optional[str]:
@@ -50,8 +51,16 @@ class SweepOutcome:
 
     def summary(self) -> Dict[str, Any]:
         by_status: Dict[str, int] = {}
+        by_source: Dict[str, int] = {}
         for result in self.results:
             by_status[result.status] = by_status.get(result.status, 0) + 1
+            # Graph provenance is only meaningful for cells executed
+            # *this* invocation: restored records carry the source (and
+            # cache configuration) of the run that produced them.
+            if (result.record is not None
+                    and result.key not in self.restored_keys):
+                source = result.record.get("graph_source", "built")
+                by_source[source] = by_source.get(source, 0) + 1
         return {
             "run_id": self.run_id,
             "cells": len(self.results),
@@ -61,6 +70,7 @@ class SweepOutcome:
             "passed": sum(1 for r in self.results if r.passed),
             "failed": sum(1 for r in self.results if not r.passed),
             "statuses": by_status,
+            "graph_sources": by_source,
             "wall_time": sum(r.wall_time for r in self.results),
         }
 
@@ -84,7 +94,9 @@ def run_sweep(names: Optional[Sequence[str]] = None, *,
               fresh: bool = False,
               revision: Optional[str] = None,
               on_result: Optional[OnResult] = None,
-              specs: Optional[Sequence[JobSpec]] = None) -> SweepOutcome:
+              specs: Optional[Sequence[JobSpec]] = None,
+              graph_store_dir: "Optional[str]" = None,
+              graph_cache_size: Optional[int] = None) -> SweepOutcome:
     """Run (or resume) one sweep; see the module docstring.
 
     ``fresh=True`` always starts a new run directory even when an
@@ -94,7 +106,21 @@ def run_sweep(names: Optional[Sequence[str]] = None, *,
     ``retries`` is the per-cell retry budget: timed-out/crashed cells
     are re-queued up to that many extra times before being recorded as
     failures (the cell record carries ``attempts``).
+
+    ``graph_store_dir`` connects the on-disk graph snapshot store
+    (:mod:`repro.store`) for this sweep and ``graph_cache_size``
+    re-sizes the per-worker graph LRU; both are process-wide settings
+    (propagated to pool workers through the environment) and are left
+    untouched when None.  The effective values are recorded in the run
+    manifest either way.
     """
+    from repro.runner import graph_cache
+
+    if graph_cache_size is not None:
+        graph_cache.configure(graph_cache_size)
+    if graph_store_dir is not None:
+        graph_cache.configure_store(graph_store_dir)
+
     specs = (build_specs(names, sizes=sizes, seeds=seeds)
              if specs is None else list(specs))
 
@@ -108,7 +134,12 @@ def run_sweep(names: Optional[Sequence[str]] = None, *,
             run = store.find_resumable(params, revision)
             resumed = run is not None
         if run is None:
-            run = store.create_run(specs, params, revision=revision)
+            effective_store = graph_cache.effective_store()
+            run = store.create_run(
+                specs, params, revision=revision,
+                extra={"graph_cache_size": graph_cache.effective_maxsize(),
+                       "graph_store": (None if effective_store is None
+                                       else str(effective_store.root))})
         else:
             planned = set(spec.key for spec in specs)
             cached = {result.key: result for result in run.load_results()
@@ -130,4 +161,5 @@ def run_sweep(names: Optional[Sequence[str]] = None, *,
         merged[result.key] = result
     ordered = [merged[spec.key] for spec in specs if spec.key in merged]
     return SweepOutcome(results=ordered, executed=len(executed),
-                        skipped=len(cached), run=run, resumed=resumed)
+                        skipped=len(cached), run=run, resumed=resumed,
+                        restored_keys=set(cached))

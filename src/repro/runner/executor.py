@@ -12,8 +12,10 @@ submitted spec order regardless of completion order.
 Per-cell timeouts are enforced *inside* the executing process with a
 ``SIGALRM`` interval timer, so a pathological cell is interrupted where
 it runs and the pool stays healthy (no abandoned busy workers, no
-pool-wide teardown); on platforms without ``SIGALRM`` the timeout
-degrades to unenforced rather than failing.
+pool-wide teardown).  The alarm is guarded by a POSIX capability check
+(:func:`_alarm_supported`): on platforms without ``SIGALRM`` /
+``setitimer`` (Windows) -- or off the main thread -- the timeout
+degrades to plain no-alarm wall-time metering rather than failing.
 """
 
 from __future__ import annotations
@@ -36,7 +38,15 @@ class CellTimeout(Exception):
 
 
 def _alarm_supported() -> bool:
-    return (hasattr(signal, "SIGALRM")
+    """Whether the POSIX interval-timer machinery is usable here.
+
+    ``SIGALRM``/``setitimer`` exist only on POSIX platforms (Windows'
+    ``signal`` module has neither), and signal handlers can only be
+    installed from the main thread.  Anywhere this is False the
+    per-cell timeout degrades to unenforced wall-time metering instead
+    of crashing the sweep with an AttributeError.
+    """
+    return (hasattr(signal, "SIGALRM") and hasattr(signal, "setitimer")
             and threading.current_thread() is threading.main_thread())
 
 

@@ -26,7 +26,10 @@ CellIdentity = Tuple[str, str, int, int]
 # Record fields that vary between executions of the same cell at the
 # same revision.  Single source of the "canonical payload" rule shared
 # by DifferentialRecord.canonical_dict and CellResult.canonical_record.
-NONDETERMINISTIC_FIELDS = ("wall_time",)
+# ``graph_source`` is where the cell's graph came from (built / lru /
+# store) -- provenance that depends on cache and store state, never on
+# the cell's deterministic payload.
+NONDETERMINISTIC_FIELDS = ("wall_time", "graph_source")
 
 
 def error_headline(error: Optional[str]) -> str:

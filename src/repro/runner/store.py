@@ -169,8 +169,15 @@ class RunStore:
 
     def create_run(self, specs: Sequence[JobSpec],
                    params: Dict[str, Any], *,
-                   revision: Optional[str] = None) -> Run:
-        """Allocate a run directory and write its manifest."""
+                   revision: Optional[str] = None,
+                   extra: Optional[Dict[str, Any]] = None) -> Run:
+        """Allocate a run directory and write its manifest.
+
+        ``extra`` keys are merged into the manifest (the engine records
+        the effective graph-cache size and graph-store root there);
+        they never override the core fields and play no part in the
+        resume identity, which hashes only ``params``.
+        """
         revision = git_revision() if revision is None else revision
         created = time.time()
         stamp = time.strftime("%Y%m%d-%H%M%S", time.localtime(created))
@@ -182,7 +189,8 @@ class RunStore:
             run_id = f"{base}.{attempt}"
         path = self.root / run_id
         path.mkdir(parents=True)
-        manifest = {
+        manifest = dict(extra or {})
+        manifest.update({
             "run_id": run_id,
             "schema_version": SCHEMA_VERSION,
             "revision": revision,
@@ -192,7 +200,7 @@ class RunStore:
             "params_key": pkey,
             "cell_count": len(specs),
             "planned_cells": [spec.key for spec in specs],
-        }
+        })
         # Temp-file + rename so a kill mid-dump never leaves a torn
         # manifest behind (list_runs would otherwise skip the run).
         tmp_path = path / (MANIFEST_NAME + ".tmp")

@@ -1,0 +1,36 @@
+"""The on-disk content-addressed artifact store (ISSUE 4).
+
+PR 3's graph LRU is process-local: every pool worker and every fresh
+``repro sweep`` invocation rebuilds the same seed-deterministic graphs
+from scratch.  This package is the shared substrate underneath that
+LRU -- immutable artifacts on disk, content-addressed by their identity
+coordinates, published atomically so concurrent pool workers can read
+and write one store safely, and loaded via ``np.load(mmap_mode="r")``
+so a snapshot costs file headers instead of generator work:
+
+* :mod:`repro.store.artifacts` -- the generic store: keys, atomic
+  write-then-rename publication, mmap'd reads with corruption
+  quarantine, ``ls``/``stat``/``gc`` maintenance;
+* :mod:`repro.store.graphs` -- the first artifact type: CSR graph
+  snapshots (``indptr``/``indices`` + ordered weight arrays) keyed by
+  ``(scenario, size, derived construction seed)``.
+
+Consumers: the fall-through chain in :mod:`repro.runner.graph_cache`
+(in-process LRU -> this store -> build-and-publish), the ``repro
+store`` CLI family (``ls``/``stat``/``gc``/``warm``), and the
+``graph-store`` benchmark.
+"""
+
+from repro.store.artifacts import (
+    DEFAULT_STORE_DIR,
+    SCHEMA_VERSION,
+    ArtifactEntry,
+    ArtifactStore,
+    artifact_key,
+)
+from repro.store.graphs import GraphStore, graph_key, warm
+
+__all__ = [
+    "ArtifactEntry", "ArtifactStore", "DEFAULT_STORE_DIR", "GraphStore",
+    "SCHEMA_VERSION", "artifact_key", "graph_key", "warm",
+]

@@ -1,0 +1,207 @@
+"""CSR graph snapshots: the store's first artifact type.
+
+A scenario graph is fully determined by ``(scenario name, size, derived
+construction seed)`` -- the same content address the in-process LRU of
+:mod:`repro.runner.graph_cache` uses -- and its storage form is already
+a pair of CSR numpy arrays plus (optionally) a weight mapping.  That
+makes it the ideal first artifact: publish the arrays once, and every
+pool worker, repeated sweep, and future revision mmaps them back
+instead of re-running the generator.
+
+Snapshot layout (one store entry)::
+
+    indptr.npy        # int64, length n+1
+    indices.npy       # int64, length 2m (every directed arc's head)
+    weight_keys.npy   # int64 (k, 2) -- ordered (u, v) pairs  [weighted only]
+    weight_vals.npy   # int64/float64, length k               [weighted only]
+
+Weights are stored as *ordered key/value arrays in the weight dict's
+insertion order*, not re-derived from the CSR arrays: the dict a fresh
+generator builds has a specific iteration order, and a restored graph
+must be indistinguishable from a fresh build down to that order (the
+byte-identity contract ``tests/test_store.py`` pins, the same way the
+CSR-vs-legacy tests pin construction equivalence).  ``.tolist()`` on
+the value array round-trips numpy scalars back to the Python ints (or
+floats) the generators produced.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.store.artifacts import (
+    DEFAULT_STORE_DIR,
+    ArtifactEntry,
+    ArtifactStore,
+    artifact_key,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from pathlib import Path
+
+    from repro.graphs.graph import Graph
+
+GRAPH_KIND = "graphs"
+
+
+def graph_identity(scenario: str, size: int,
+                   derived_seed: int) -> Dict[str, Any]:
+    return {"scenario": scenario, "size": size,
+            "derived_seed": derived_seed}
+
+
+def graph_key(scenario: str, size: int, derived_seed: int) -> str:
+    """The content address of one scenario graph snapshot."""
+    return artifact_key(GRAPH_KIND,
+                        graph_identity(scenario, size, derived_seed))
+
+
+class GraphStore:
+    """The graph-snapshot view over an :class:`ArtifactStore` root."""
+
+    def __init__(self, root: "str | Path" = DEFAULT_STORE_DIR):
+        self.artifacts = ArtifactStore(root)
+
+    @property
+    def root(self):
+        return self.artifacts.root
+
+    # ------------------------------------------------------------------
+    # Publish
+    # ------------------------------------------------------------------
+    def publish(self, scenario: str, size: int, derived_seed: int,
+                graph: "Graph") -> bool:
+        """Snapshot ``graph`` under its content key; True if we published.
+
+        Graphs whose weight values do not fit a numeric numpy dtype are
+        silently not storable (publish returns False and the caller
+        keeps its built instance) -- nothing in the repository produces
+        such weights, but the store must never corrupt a value to fit.
+        """
+        arrays: Dict[str, np.ndarray] = {
+            "indptr": graph._indptr,
+            "indices": graph._indices,
+        }
+        weighted = graph.weights is not None
+        if weighted:
+            values = list(graph.weights.values())
+            try:
+                keys = np.asarray(list(graph.weights), dtype=np.int64)
+                vals = np.asarray(values)
+            except (OverflowError, ValueError, TypeError):
+                return False  # e.g. ints beyond int64: not storable
+            if vals.dtype.kind not in "if":
+                return False
+            if (vals.dtype.kind == "f"
+                    and any(isinstance(v, int) for v in values)):
+                # A mixed int/float dict would coerce the ints to
+                # floats on the round trip (1 -> 1.0), breaking byte
+                # identity of weight-derived payloads.
+                return False
+            arrays["weight_keys"] = keys.reshape(-1, 2)
+            arrays["weight_vals"] = vals
+        key = graph_key(scenario, size, derived_seed)
+        return self.artifacts.publish(
+            GRAPH_KIND, key, arrays,
+            identity=graph_identity(scenario, size, derived_seed),
+            extra={"graph": {"name": graph.name, "n": graph.n,
+                             "m": graph.m, "weighted": weighted}})
+
+    # ------------------------------------------------------------------
+    # Load
+    # ------------------------------------------------------------------
+    def load(self, scenario: str, size: int,
+             derived_seed: int) -> Optional["Graph"]:
+        """The snapshot as a :class:`Graph` over mmap'd arrays, or None.
+
+        The CSR arrays stay memory-mapped read-only (graphs are
+        immutable by contract, so nothing ever writes into them); the
+        weight dict is rebuilt eagerly from the ordered key/value
+        arrays so values come back as plain Python numbers.  Structural
+        inconsistencies beyond what the artifact layer checks (indptr
+        not matching indices, dangling weight keys) also count as
+        corruption: the entry is dropped and the caller rebuilds.
+        """
+        from repro.graphs.graph import Graph
+
+        key = graph_key(scenario, size, derived_seed)
+        opened = self.artifacts.open(GRAPH_KIND, key)
+        if opened is None:
+            return None
+        manifest, arrays = opened
+        try:
+            indptr = arrays["indptr"]
+            indices = arrays["indices"]
+            meta = manifest["graph"]
+            n, name = int(meta["n"]), str(meta["name"])
+            if (indptr.ndim != 1 or indices.ndim != 1
+                    or len(indptr) != n + 1 or indptr[0] != 0
+                    or int(indptr[-1]) != len(indices)):
+                raise ValueError("CSR arrays inconsistent with manifest")
+            weights = None
+            if meta.get("weighted"):
+                keys = arrays["weight_keys"]
+                vals = arrays["weight_vals"]
+                if keys.ndim != 2 or keys.shape != (len(vals), 2):
+                    raise ValueError("weight arrays inconsistent")
+                weights = {
+                    (u, v): w
+                    for (u, v), w in zip(keys.tolist(), vals.tolist())}
+        except (KeyError, ValueError, TypeError):
+            self.artifacts.remove(GRAPH_KIND, key)
+            return None
+        graph = Graph._from_csr(indptr, indices, name=name)
+        if weights is not None:
+            # Trusted snapshot of an already-validated graph: attach the
+            # weights directly instead of re-validating edge membership,
+            # which would materialize the whole adjacency on every load.
+            graph._weights = weights
+            graph._weighted = True
+        return graph
+
+    def contains(self, scenario: str, size: int, derived_seed: int) -> bool:
+        return self.artifacts.exists(
+            GRAPH_KIND, graph_key(scenario, size, derived_seed))
+
+    # ------------------------------------------------------------------
+    # Inventory / maintenance (delegates, graph-kind scoped where apt)
+    # ------------------------------------------------------------------
+    def ls(self) -> List[ArtifactEntry]:
+        return self.artifacts.ls(GRAPH_KIND)
+
+    def stat(self) -> Dict[str, Any]:
+        return self.artifacts.stat()
+
+    def gc(self, keep_last: Optional[int] = None,
+           max_bytes: Optional[int] = None) -> List[ArtifactEntry]:
+        return self.artifacts.gc(keep_last=keep_last, max_bytes=max_bytes)
+
+
+def warm(store: GraphStore, scenarios, *,
+         sizes=None, seeds=(0,)) -> Dict[str, int]:
+    """Pre-build and publish scenario graphs (``repro store warm``).
+
+    ``scenarios`` is an iterable of :class:`repro.scenarios.registry.
+    Scenario`; each is built at every requested size (default: its
+    tier-1 ``default_size``) for every caller seed and published.
+    Returns ``{"published": ..., "skipped": ...}`` -- skipped entries
+    were already in the store.
+    """
+    published = skipped = 0
+    for scenario in scenarios:
+        run_sizes = ([scenario.default_size] if sizes is None
+                     else list(sizes))
+        for size in run_sizes:
+            for seed in seeds:
+                derived = scenario.seed_for(size, seed)
+                if store.contains(scenario.name, size, derived):
+                    skipped += 1
+                    continue
+                graph = scenario.graph(size, seed=seed)
+                if store.publish(scenario.name, size, derived, graph):
+                    published += 1
+                else:
+                    skipped += 1
+    return {"published": published, "skipped": skipped}

@@ -42,6 +42,7 @@ class DifferentialRecord:
     detail: Dict[str, Any] = field(default_factory=dict)
     derived_seed: int = 0          # the construction seed fed to build()
     wall_time: float = 0.0         # seconds spent building + running the cell
+    graph_source: str = "built"    # where the graph came from: built/lru/store
 
     @property
     def passed(self) -> bool:
@@ -65,6 +66,7 @@ class DifferentialRecord:
             "envelope": self.envelope,
             "detail": self.detail,
             "wall_time": self.wall_time,
+            "graph_source": self.graph_source,
         }
 
     def canonical_dict(self) -> Dict[str, Any]:
@@ -108,13 +110,16 @@ def run_differential(scenario: Scenario | str, algorithm: str, *,
                      seed: int = 0) -> DifferentialRecord:
     """Run one matrix cell: scenario graph -> simulator -> oracle.
 
-    The scenario graph is served from the per-process LRU of
-    :mod:`repro.runner.graph_cache`, keyed by the derived construction
-    seed: consecutive cells over the same scenario x size (one per
-    bound algorithm) reuse one built graph -- and its memoized
-    simulator precomputation -- instead of rebuilding it per cell.
+    The scenario graph is served from the cache chain of
+    :mod:`repro.runner.graph_cache` (in-process LRU -> on-disk snapshot
+    store, when one is configured -> build-and-publish), keyed by the
+    derived construction seed: consecutive cells over the same scenario
+    x size (one per bound algorithm) reuse one built graph -- and its
+    memoized simulator precomputation -- instead of rebuilding it per
+    cell.  The chain's answer is recorded as ``graph_source`` on the
+    record (a nondeterministic field: provenance, not payload).
     """
-    from repro.runner.graph_cache import scenario_graph
+    from repro.runner.graph_cache import scenario_graph_source
 
     if isinstance(scenario, str):
         scenario = get_scenario(scenario)
@@ -126,7 +131,7 @@ def run_differential(scenario: Scenario | str, algorithm: str, *,
     size = scenario.default_size if size is None else size
     derived_seed = scenario.seed_for(size, seed)
     start = time.perf_counter()
-    graph = scenario_graph(scenario, size, seed=seed)
+    graph, graph_source = scenario_graph_source(scenario, size, seed=seed)
     result = binding.run(graph, derived_seed)
     wall_time = time.perf_counter() - start
     envelope = binding.envelope.evaluate(graph.n, graph.m,
@@ -138,7 +143,8 @@ def run_differential(scenario: Scenario | str, algorithm: str, *,
         size=size, seed=seed, n=graph.n, m=graph.m,
         ok=result.ok, envelope_ok=envelope_ok, checks=result.checks,
         metrics=result.metrics, envelope=envelope, detail=result.detail,
-        derived_seed=derived_seed, wall_time=wall_time)
+        derived_seed=derived_seed, wall_time=wall_time,
+        graph_source=graph_source)
 
 
 def record_from_dict(payload: Dict[str, Any]) -> DifferentialRecord:

@@ -29,3 +29,18 @@ def pytest_collection_modifyitems(config, items):
 def scenario_size(request):
     """The requested tier-2 workload size (None in tier-1 runs)."""
     return request.config.getoption("--scenario-size")
+
+
+@pytest.fixture(autouse=True)
+def _graph_cache_isolation():
+    """Reset the process-wide graph cache chain after every test.
+
+    The chain (LRU size, connected store, exported env vars) is
+    deliberately process-global so pool workers inherit it; in the test
+    process that would leak one test's store into the next.
+    """
+    yield
+    from repro.runner import graph_cache
+
+    graph_cache.configure(graph_cache.DEFAULT_MAXSIZE)
+    graph_cache.configure_store(None)

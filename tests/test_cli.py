@@ -106,7 +106,7 @@ def test_cli_sweep_persists_resumes_and_compares(tmp_path, capsys):
     import json
 
     store = str(tmp_path / "runs")
-    base = ["sweep", "--store", store, "--names", "path", "cycle"]
+    base = ["sweep", "--runs-dir", store, "--names", "path", "cycle"]
 
     assert main(base) == 0
     first = capsys.readouterr().out
@@ -124,13 +124,13 @@ def test_cli_sweep_persists_resumes_and_compares(tmp_path, capsys):
 
     # ... and the two runs of the same revision compare with zero
     # regressions, while --list-runs sees both as complete.
-    assert main(["sweep", "--store", store, "--compare", run_id,
+    assert main(["sweep", "--runs-dir", store, "--compare", run_id,
                  "--against", second_id]) == 0
     assert "0 regression(s)" in capsys.readouterr().out
-    assert main(["sweep", "--store", store, "--list-runs"]) == 0
+    assert main(["sweep", "--runs-dir", store, "--list-runs"]) == 0
     listing = capsys.readouterr().out
     assert listing.count("complete") >= 2 and run_id in listing
-    assert main(["sweep", "--store", store, "--list-runs", "--json"]) == 0
+    assert main(["sweep", "--runs-dir", store, "--list-runs", "--json"]) == 0
     entries = json.loads(capsys.readouterr().out)
     assert {e["run"] for e in entries} >= {run_id, second_id}
     assert all(e["state"] == "complete" for e in entries)
@@ -138,7 +138,7 @@ def test_cli_sweep_persists_resumes_and_compares(tmp_path, capsys):
 
 def test_cli_sweep_execute_with_baseline_compare(tmp_path, capsys):
     store = str(tmp_path / "runs")
-    base = ["sweep", "--store", store, "--names", "random-tree"]
+    base = ["sweep", "--runs-dir", store, "--names", "random-tree"]
     assert main(base) == 0
     run_id = next(line.split()[1]
                   for line in capsys.readouterr().out.splitlines()
@@ -149,7 +149,7 @@ def test_cli_sweep_execute_with_baseline_compare(tmp_path, capsys):
 
 
 def test_cli_sweep_unknown_run_is_clean_error(tmp_path, capsys):
-    assert main(["sweep", "--store", str(tmp_path / "runs"),
+    assert main(["sweep", "--runs-dir", str(tmp_path / "runs"),
                  "--compare", "run-nope", "--against", "run-nada"]) == 2
     assert "unknown run" in capsys.readouterr().err
 
@@ -157,15 +157,15 @@ def test_cli_sweep_unknown_run_is_clean_error(tmp_path, capsys):
 def test_cli_sweep_unknown_baseline_fails_before_executing(tmp_path, capsys):
     """A typo'd --compare id must not burn a full sweep first."""
     store = str(tmp_path / "runs")
-    assert main(["sweep", "--store", store, "--names", "path",
+    assert main(["sweep", "--runs-dir", store, "--names", "path",
                  "--compare", "run-nope"]) == 2
     assert "unknown run" in capsys.readouterr().err
-    assert main(["sweep", "--store", store, "--list-runs"]) == 0
+    assert main(["sweep", "--runs-dir", store, "--list-runs"]) == 0
     assert "run-" not in capsys.readouterr().out  # nothing was recorded
 
 
 def test_cli_sweep_against_requires_compare(tmp_path, capsys):
-    assert main(["sweep", "--store", str(tmp_path / "runs"),
+    assert main(["sweep", "--runs-dir", str(tmp_path / "runs"),
                  "--against", "run-a"]) == 2
     assert "--against requires --compare" in capsys.readouterr().err
 
@@ -174,7 +174,7 @@ def test_cli_sweep_compare_json_includes_comparison(tmp_path, capsys):
     import json
 
     store = str(tmp_path / "runs")
-    base = ["sweep", "--store", store, "--names", "path"]
+    base = ["sweep", "--runs-dir", store, "--names", "path"]
     assert main(base) == 0
     run_id = next(line.split()[1]
                   for line in capsys.readouterr().out.splitlines()
@@ -196,7 +196,7 @@ def test_cli_scenarios_sweep_timeout_is_clean_error(capsys):
 
 
 def test_cli_sweep_unknown_scenario_is_clean_error(tmp_path, capsys):
-    assert main(["sweep", "--store", str(tmp_path / "runs"),
+    assert main(["sweep", "--runs-dir", str(tmp_path / "runs"),
                  "--names", "no-such-scenario"]) == 2
     assert "unknown scenario" in capsys.readouterr().err
 

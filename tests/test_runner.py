@@ -224,6 +224,22 @@ def test_timeout_kills_pathological_cell(workers):
     assert completed.status == DONE and completed.passed
 
 
+def test_timeout_degrades_without_posix_alarm(monkeypatch):
+    """Platforms without SIGALRM/setitimer (Windows) run the cell with
+    unenforced timeouts -- plain wall-time metering, never a crash."""
+    from repro.runner import executor
+
+    class _NoAlarmSignal:
+        """A signal module with no POSIX interval-timer machinery."""
+
+    monkeypatch.setattr(executor, "signal", _NoAlarmSignal())
+    assert executor._alarm_supported() is False
+    result = executor.execute_cell(
+        JobSpec("path", "apsp-unweighted", 8, 0), timeout=0.0001)
+    assert result.status == DONE and result.passed
+    assert result.wall_time > 0
+
+
 def test_unknown_scenario_is_an_error_result_not_a_crash():
     outcome = run_sweep(specs=[JobSpec("no-such-scenario", "cover", 8, 0)])
     (result,) = outcome.results

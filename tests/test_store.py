@@ -1,0 +1,521 @@
+"""The on-disk content-addressed graph snapshot store (ISSUE 4).
+
+Pins the tentpole contract:
+
+* **byte identity** -- a store-loaded (mmap'd) graph is
+  indistinguishable from a fresh build across 4 scenarios spanning the
+  snapshot formats (unweighted, symmetric weights, directed weights,
+  bipartite): same adjacency, same weight mapping *including dict
+  insertion order and Python value types*, and byte-identical
+  differential records;
+* **fall-through chain** -- LRU -> disk store -> build-and-publish,
+  with the per-cell provenance (``graph_source``) recorded as a
+  nondeterministic field that never changes a canonical record byte;
+* **concurrent-writer safety** -- racing publishers of one key land
+  exactly one valid snapshot (atomic write-then-rename);
+* **corruption fallback** -- truncated arrays and mangled manifests
+  are quarantined and rebuilt, never crash a sweep;
+* **maintenance** -- ``gc --keep-last/--max-bytes``, ``ls``/``stat``,
+  and the ``repro store`` CLI family;
+* **engine integration** -- run manifests record the effective graph
+  cache size + store root, and a second sweep over a warm store serves
+  its graphs from disk with identical canonical records.
+"""
+
+import json
+import multiprocessing
+import os
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.runner import RunStore, graph_cache, run_sweep
+from repro.scenarios import get_scenario
+from repro.store import ArtifactStore, GraphStore, graph_key
+from repro.store.artifacts import MANIFEST_NAME, TMP_PREFIX
+from repro.store.graphs import GRAPH_KIND, warm
+
+# Unweighted dense, symmetric weighted, directed weights, bipartite:
+# every snapshot shape the store serializes.
+IDENTITY_SCENARIOS = ("dense-gnp", "grid-weighted",
+                      "dense-gnp-asymmetric", "bipartite-balanced")
+
+
+@pytest.fixture
+def chain(tmp_path):
+    """A fresh cache chain connected to a tmp store; reset afterwards."""
+    graph_cache.configure(graph_cache.DEFAULT_MAXSIZE)
+    graph_cache.configure_store(tmp_path / "graph-store")
+    yield GraphStore(tmp_path / "graph-store")
+    graph_cache.configure(graph_cache.DEFAULT_MAXSIZE)
+    graph_cache.configure_store(None)
+
+
+def _publish(store, name, size=None, seed=0):
+    scenario = get_scenario(name)
+    size = scenario.default_size if size is None else size
+    derived = scenario.seed_for(size, seed)
+    graph = scenario.graph(size, seed=seed)
+    assert store.publish(scenario.name, size, derived, graph)
+    return scenario, size, derived, graph
+
+
+# ---------------------------------------------------------------------------
+# Snapshot round trip: byte identity vs a fresh build
+# ---------------------------------------------------------------------------
+
+@pytest.mark.scenario
+@pytest.mark.parametrize("name", IDENTITY_SCENARIOS)
+def test_snapshot_round_trip_is_byte_identical(name, tmp_path):
+    store = GraphStore(tmp_path)
+    scenario, size, derived, fresh = _publish(store, name)
+    loaded = store.load(scenario.name, size, derived)
+    assert loaded is not None
+    # The topology arrays stay memory-mapped, never copied.
+    assert isinstance(loaded._indptr, np.memmap)
+    assert isinstance(loaded._indices, np.memmap)
+    assert loaded.name == fresh.name
+    assert loaded.adj == fresh.adj
+    assert loaded.weights == fresh.weights
+    if fresh.weights is not None:
+        # Insertion order and Python value types survive the round
+        # trip -- a restored graph must be indistinguishable from a
+        # fresh build, not merely equal.
+        assert list(loaded.weights.items()) == list(fresh.weights.items())
+        assert all(type(v) is type(w) for v, w in
+                   zip(loaded.weights.values(), fresh.weights.values()))
+
+
+@pytest.mark.scenario
+@pytest.mark.parametrize("name", IDENTITY_SCENARIOS)
+def test_differential_records_identical_from_store(name, chain):
+    """Store-served cells produce byte-identical canonical records."""
+    from repro.testing import run_differential
+
+    scenario = get_scenario(name)
+    algorithm = scenario.algorithms[0]
+    graph_cache.configure_store(None)
+    graph_cache.configure(0)
+    built = run_differential(name, algorithm, seed=3)
+    graph_cache.configure_store(chain.root)
+    graph_cache.configure(0)          # LRU off: force the store path
+    publish_pass = run_differential(name, algorithm, seed=3)
+    store_pass = run_differential(name, algorithm, seed=3)
+    assert built.graph_source == "built"
+    assert publish_pass.graph_source == "built"   # miss: built + published
+    assert store_pass.graph_source == "store"     # hit: mmap'd snapshot
+    assert built.canonical_dict() == publish_pass.canonical_dict() \
+        == store_pass.canonical_dict()
+    # Provenance and wall time are the *only* fields allowed to differ.
+    full = store_pass.as_dict()
+    assert full["graph_source"] == "store"
+    assert "graph_source" not in store_pass.canonical_dict()
+
+
+# ---------------------------------------------------------------------------
+# The fall-through chain
+# ---------------------------------------------------------------------------
+
+def test_chain_falls_through_lru_store_build(chain):
+    scenario = get_scenario("dense-gnp")
+    g1, src1 = graph_cache.scenario_graph_source(scenario, 14)
+    assert src1 == "built"
+    g2, src2 = graph_cache.scenario_graph_source(scenario, 14)
+    assert src2 == "lru" and g2 is g1
+    graph_cache.configure(graph_cache.DEFAULT_MAXSIZE)  # clears the LRU
+    graph_cache.configure_store(chain.root)
+    g3, src3 = graph_cache.scenario_graph_source(scenario, 14)
+    assert src3 == "store"
+    assert g3 is not g1 and g3.adj == g1.adj
+    stats = graph_cache.stats()
+    assert stats["store_hits"] == 1 and stats["publishes"] == 0
+    assert chain.contains("dense-gnp", 14, scenario.seed_for(14, 0))
+
+
+def test_chain_publishes_on_build(chain):
+    scenario = get_scenario("path")
+    graph_cache.scenario_graph(scenario, 12)
+    assert graph_cache.stats()["publishes"] == 1
+    assert chain.contains("path", 12, scenario.seed_for(12, 0))
+    # A second process-fresh chain (simulated: wipe the LRU) store-hits.
+    graph_cache.configure(graph_cache.DEFAULT_MAXSIZE)
+    graph_cache.configure_store(chain.root)
+    _, source = graph_cache.scenario_graph_source(scenario, 12)
+    assert source == "store"
+
+
+def test_store_config_propagates_through_environment(chain, monkeypatch):
+    """Worker processes resolve the store from the exported env var."""
+    assert os.environ[graph_cache.STORE_DIR_ENV] == str(chain.root)
+    # Simulate a freshly-started worker: unprobed module state.
+    monkeypatch.setattr(graph_cache, "_store", None)
+    monkeypatch.setattr(graph_cache, "_store_probed", False)
+    resolved = graph_cache.effective_store()
+    assert resolved is not None and str(resolved.root) == str(chain.root)
+    graph_cache.configure_store(None)
+    assert graph_cache.STORE_DIR_ENV not in os.environ
+    assert graph_cache.effective_store() is None
+
+
+def test_cache_size_env_round_trip(monkeypatch):
+    monkeypatch.setenv(graph_cache.CACHE_SIZE_ENV, "7")
+    assert graph_cache._env_maxsize() == 7
+    monkeypatch.setenv(graph_cache.CACHE_SIZE_ENV, "not-a-number")
+    assert graph_cache._env_maxsize() == graph_cache.DEFAULT_MAXSIZE
+    graph_cache.configure(5)
+    assert os.environ[graph_cache.CACHE_SIZE_ENV] == "5"
+    assert graph_cache.effective_maxsize() == 5
+    graph_cache.configure(graph_cache.DEFAULT_MAXSIZE)
+
+
+def test_degenerate_size_still_raises_with_store(chain):
+    with pytest.raises(ValueError, match="size must be >= 3"):
+        graph_cache.scenario_graph(get_scenario("path"), 2)
+
+
+# ---------------------------------------------------------------------------
+# Concurrent-writer safety
+# ---------------------------------------------------------------------------
+
+def _race_publish(args):
+    root, barrier_unused = args
+    store = GraphStore(root)
+    scenario = get_scenario("dense-gnp")
+    size = 16
+    derived = scenario.seed_for(size, 0)
+    graph = scenario.graph(size)
+    return store.publish(scenario.name, size, derived, graph)
+
+
+def test_concurrent_publishers_land_one_valid_snapshot(tmp_path):
+    """Racing pool workers: exactly one entry, every loser unharmed."""
+    root = str(tmp_path / "store")
+    with multiprocessing.Pool(2) as pool:
+        outcomes = pool.map(_race_publish, [(root, None)] * 4)
+    # At least one publisher won; the store holds exactly one complete,
+    # loadable entry and no leftover temp directories.
+    assert any(outcomes)
+    store = GraphStore(root)
+    entries = store.ls()
+    assert len(entries) == 1
+    scenario = get_scenario("dense-gnp")
+    loaded = store.load("dense-gnp", 16, scenario.seed_for(16, 0))
+    assert loaded is not None and loaded.adj == scenario.graph(16).adj
+    leftovers = [p for p in (tmp_path / "store").rglob("*")
+                 if p.name.startswith(TMP_PREFIX)]
+    assert leftovers == []
+
+
+def test_lost_race_in_process_returns_false(tmp_path):
+    store = GraphStore(tmp_path)
+    scenario, size, derived, graph = _publish(store, "cycle")
+    assert store.publish(scenario.name, size, derived, graph) is False
+    assert len(store.ls()) == 1
+
+
+# ---------------------------------------------------------------------------
+# Corruption: quarantine + rebuild, never a crash
+# ---------------------------------------------------------------------------
+
+def _entry_path(store, scenario, size, derived):
+    return store.artifacts.entry_path(
+        GRAPH_KIND, graph_key(scenario.name, size, derived))
+
+
+def test_truncated_array_falls_back_to_rebuild(chain):
+    scenario, size, derived, _ = _publish(chain, "dense-gnp", size=18)
+    indices = _entry_path(chain, scenario, size, derived) / "indices.npy"
+    indices.write_bytes(indices.read_bytes()[: indices.stat().st_size // 2])
+    assert chain.load(scenario.name, size, derived) is None
+    # The corrupt entry is quarantined...
+    assert not chain.contains(scenario.name, size, derived)
+    # ... and the chain rebuilds and republishes as if it never existed.
+    graph, source = graph_cache.scenario_graph_source(scenario, 18)
+    assert source == "built"
+    assert graph.adj == scenario.graph(18).adj
+    assert chain.contains(scenario.name, size, derived)
+
+
+def test_mangled_manifest_falls_back_to_rebuild(chain):
+    scenario, size, derived, _ = _publish(chain, "path", size=12)
+    manifest = _entry_path(chain, scenario, size, derived) / MANIFEST_NAME
+    manifest.write_text("{ not json")
+    assert chain.load(scenario.name, size, derived) is None
+    assert not chain.contains(scenario.name, size, derived)
+
+
+def test_transient_oserror_is_a_miss_without_quarantine(tmp_path,
+                                                        monkeypatch):
+    """Resource blips (EMFILE, EACCES...) must not destroy valid
+    snapshots: the read is a miss, the entry survives for next time."""
+    from repro.store import artifacts as artifacts_mod
+
+    store = GraphStore(tmp_path)
+    scenario, size, derived, _ = _publish(store, "cycle")
+
+    def exhausted(*args, **kwargs):
+        raise OSError(24, "Too many open files")
+
+    monkeypatch.setattr(artifacts_mod.np, "load", exhausted)
+    assert store.load(scenario.name, size, derived) is None
+    monkeypatch.undo()
+    # The entry is intact and loads fine once the blip passes.
+    assert store.contains(scenario.name, size, derived)
+    assert store.load(scenario.name, size, derived) is not None
+
+
+def test_mixed_int_float_weights_are_not_storable(tmp_path):
+    """A heterogeneous weight dict would coerce ints to floats on the
+    round trip; publish must refuse rather than corrupt a value."""
+    from repro.graphs.graph import from_edges
+
+    store = GraphStore(tmp_path)
+    mixed = from_edges(3, [(0, 1), (1, 2)],
+                       weights={(0, 1): 1, (1, 2): 2.5})
+    assert store.publish("mixed", 3, 0, mixed) is False
+    assert store.ls() == []
+    # Homogeneous floats remain storable.
+    floats = from_edges(3, [(0, 1), (1, 2)],
+                        weights={(0, 1): 1.5, (1, 2): 2.5})
+    assert store.publish("floats", 3, 0, floats) is True
+    loaded = store.load("floats", 3, 0)
+    assert loaded.weights == floats.weights
+    assert all(type(v) is float for v in loaded.weights.values())
+    # Ints beyond int64 cannot round-trip either: refuse, don't wrap.
+    huge = from_edges(3, [(0, 1), (1, 2)],
+                      weights={(0, 1): 2 ** 70, (1, 2): 1})
+    assert store.publish("huge", 3, 0, huge) is False
+
+
+def test_wrong_schema_version_is_a_miss(tmp_path):
+    store = GraphStore(tmp_path)
+    scenario, size, derived, _ = _publish(store, "cycle")
+    manifest_path = _entry_path(store, scenario, size, derived) / MANIFEST_NAME
+    manifest = json.loads(manifest_path.read_text())
+    manifest["schema_version"] = 999
+    manifest_path.write_text(json.dumps(manifest))
+    assert store.load(scenario.name, size, derived) is None
+
+
+def test_inconsistent_csr_is_quarantined(tmp_path):
+    """Arrays that parse but contradict the manifest are corruption too."""
+    store = GraphStore(tmp_path)
+    scenario, size, derived, graph = _publish(store, "path", size=14)
+    entry = _entry_path(store, scenario, size, derived)
+    manifest_path = entry / MANIFEST_NAME
+    manifest = json.loads(manifest_path.read_text())
+    # Shrink indptr while keeping its file/manifest shape in agreement.
+    bad = np.asarray(graph._indptr[:-2])
+    np.save(entry / "indptr.npy", bad)
+    manifest["arrays"]["indptr"] = {
+        "dtype": str(bad.dtype), "shape": list(bad.shape),
+        "nbytes": int(bad.nbytes),
+        "file_bytes": (entry / "indptr.npy").stat().st_size}
+    manifest_path.write_text(json.dumps(manifest))
+    assert store.load(scenario.name, size, derived) is None
+    assert not store.contains(scenario.name, size, derived)
+
+
+# ---------------------------------------------------------------------------
+# Maintenance: warm, ls, stat, gc
+# ---------------------------------------------------------------------------
+
+def test_warm_then_gc_keep_last_and_max_bytes(tmp_path):
+    store = GraphStore(tmp_path)
+    counts = warm(store, [get_scenario(n)
+                          for n in ("path", "cycle", "dense-gnp")])
+    assert counts == {"published": 3, "skipped": 0}
+    assert warm(store, [get_scenario("path")]) == {"published": 0,
+                                                  "skipped": 1}
+    entries = store.ls()
+    assert len(entries) == 3
+    assert store.stat()["entries"] == 3
+    assert store.stat()["bytes"] == sum(e.nbytes for e in entries)
+
+    removed = store.gc(keep_last=2)
+    assert len(removed) == 1 and len(store.ls()) == 2
+    # max_bytes=0 clears everything that's left.
+    removed = store.gc(max_bytes=0)
+    assert len(removed) == 2 and store.ls() == []
+
+
+def test_gc_sweeps_only_abandoned_temp_dirs(tmp_path):
+    """gc removes crashed publishers' leftovers (old tmp dirs) but must
+    never touch a live concurrent publisher's fresh tmp dir."""
+    import time
+
+    from repro.store.artifacts import TMP_SWEEP_AGE_SECONDS
+
+    store = GraphStore(tmp_path)
+    _publish(store, "path")
+    bucket = tmp_path / GRAPH_KIND / "ab"
+    abandoned = bucket / f"{TMP_PREFIX}abandoned-123-dead"
+    abandoned.mkdir(parents=True)
+    (abandoned / "indptr.npy").write_bytes(b"partial")
+    stale = time.time() - TMP_SWEEP_AGE_SECONDS - 60
+    os.utime(abandoned, (stale, stale))
+    live = bucket / f"{TMP_PREFIX}inflight-456-beef"
+    live.mkdir()
+    assert store.gc(keep_last=10) == []
+    assert not abandoned.exists()
+    assert live.exists(), "a live publisher's tmp dir must survive gc"
+    assert len(store.ls()) == 1
+
+
+def test_gc_rejects_negative_budgets(tmp_path):
+    store = ArtifactStore(tmp_path)
+    with pytest.raises(ValueError):
+        store.gc(keep_last=-1)
+    with pytest.raises(ValueError):
+        store.gc(max_bytes=-1)
+
+
+# ---------------------------------------------------------------------------
+# Engine + CLI integration
+# ---------------------------------------------------------------------------
+
+def test_sweep_manifest_records_cache_and_store(tmp_path):
+    runs = RunStore(tmp_path / "runs")
+    store_dir = str(tmp_path / "graph-store")
+    try:
+        first = run_sweep(["path", "cycle"], store=runs,
+                          graph_store_dir=store_dir, graph_cache_size=0)
+        assert first.run.manifest["graph_cache_size"] == 0
+        assert first.run.manifest["graph_store"] == store_dir
+        # With the LRU off, path's first cell builds + publishes and its
+        # second same-key cell already hits the store; cycle builds.
+        sources = first.summary()["graph_sources"]
+        assert sources == {"built": 2, "store": 1}
+        assert GraphStore(store_dir).ls()  # the sweep warmed the store
+
+        # A second sweep over the warm store serves every graph from
+        # disk -- with byte-identical canonical records.
+        second = run_sweep(["path", "cycle"], store=runs, fresh=True,
+                           graph_store_dir=store_dir, graph_cache_size=0)
+        assert second.summary()["graph_sources"] == {"store": 3}
+        assert [r.canonical_record() for r in first.results] == \
+            [r.canonical_record() for r in second.results]
+    finally:
+        graph_cache.configure(graph_cache.DEFAULT_MAXSIZE)
+        graph_cache.configure_store(None)
+
+
+def test_parallel_sweep_workers_share_the_store(tmp_path):
+    """Pool workers publish into and read from one shared store."""
+    store_dir = str(tmp_path / "graph-store")
+    try:
+        cold = run_sweep(["dense-gnp", "power-law"], workers=2,
+                         graph_store_dir=store_dir, graph_cache_size=0)
+        assert cold.ok
+        store = GraphStore(store_dir)
+        assert len(store.ls()) == 2  # one snapshot per scenario x size
+        warm_run = run_sweep(["dense-gnp", "power-law"], workers=2,
+                             graph_store_dir=store_dir, graph_cache_size=0)
+        assert warm_run.ok
+        assert warm_run.summary()["graph_sources"] == {
+            "store": len(warm_run.results)}
+        assert [r.canonical_record() for r in cold.results] == \
+            [r.canonical_record() for r in warm_run.results]
+    finally:
+        graph_cache.configure(graph_cache.DEFAULT_MAXSIZE)
+        graph_cache.configure_store(None)
+
+
+def test_restored_cells_do_not_pollute_graph_source_summary(tmp_path):
+    """A resumed sweep reports provenance for *its* cells only: records
+    restored from a store-era run must not claim disk hits in a
+    storeless re-invocation (they carry the old run's cache state)."""
+    runs = RunStore(tmp_path / "runs")
+    store_dir = str(tmp_path / "graph-store")
+
+    class Stop(Exception):
+        pass
+
+    seen = []
+
+    def interrupt(result):
+        seen.append(result)
+        if len(seen) == 2:
+            raise Stop()
+
+    try:
+        with pytest.raises(Stop):
+            run_sweep(["path", "cycle"], store=runs, revision="rev-A",
+                      graph_store_dir=store_dir, graph_cache_size=0,
+                      on_result=interrupt)
+        graph_cache.configure_store(None)
+        resumed = run_sweep(["path", "cycle"], store=runs,
+                            revision="rev-A")
+        assert resumed.resumed and resumed.skipped == 2
+        sources = resumed.summary()["graph_sources"]
+        assert sum(sources.values()) == resumed.executed == 1
+        assert "store" not in sources
+    finally:
+        graph_cache.configure(graph_cache.DEFAULT_MAXSIZE)
+        graph_cache.configure_store(None)
+
+
+def test_cli_store_family(tmp_path, capsys):
+    store_dir = str(tmp_path / "graph-store")
+    assert main(["store", "warm", "--names", "path", "cycle",
+                 "--store-dir", store_dir]) == 0
+    assert "2 published" in capsys.readouterr().out
+    assert main(["store", "ls", "--store-dir", store_dir]) == 0
+    out = capsys.readouterr().out
+    assert "path" in out and "cycle" in out and "2 snapshot(s)" in out
+    assert main(["store", "stat", "--store-dir", store_dir, "--json"]) == 0
+    stats = json.loads(capsys.readouterr().out)
+    assert stats["entries"] == 2 and stats["bytes"] > 0
+    assert main(["store", "gc", "--keep-last", "1",
+                 "--store-dir", store_dir]) == 0
+    assert "1 snapshot(s) removed" in capsys.readouterr().out
+    assert main(["store", "ls", "--store-dir", store_dir, "--json"]) == 0
+    assert len(json.loads(capsys.readouterr().out)) == 1
+
+
+def test_cli_store_gc_requires_a_budget(tmp_path, capsys):
+    assert main(["store", "gc",
+                 "--store-dir", str(tmp_path / "gs")]) == 2
+    assert "--keep-last and/or --max-bytes" in capsys.readouterr().err
+
+
+def test_cli_store_gc_negative_budget_is_clean_error(tmp_path, capsys):
+    assert main(["store", "gc", "--keep-last", "-1",
+                 "--store-dir", str(tmp_path / "gs")]) == 2
+    assert "keep_last must be >= 0" in capsys.readouterr().err
+
+
+def test_cli_store_warm_unknown_scenario_is_clean_error(tmp_path, capsys):
+    assert main(["store", "warm", "--names", "no-such-scenario",
+                 "--store-dir", str(tmp_path / "gs")]) == 2
+    assert "unknown scenario" in capsys.readouterr().err
+
+
+def test_cli_sweep_store_flags(tmp_path, capsys):
+    runs_dir = str(tmp_path / "runs")
+    base = ["sweep", "--runs-dir", runs_dir, "--names", "path",
+            "--graph-cache-size", "0"]
+    assert main(base) == 0
+    out = capsys.readouterr().out
+    # LRU off: path's first cell builds + publishes, the second cell of
+    # the same key is already served from the store.
+    assert "graph sources: 1 built, 1 store" in out
+    # Default --store-dir co-locates the snapshots with the run store.
+    assert (tmp_path / "runs" / "graph-store").is_dir()
+    assert main(base + ["--fresh"]) == 0
+    assert "graph sources: 2 store" in capsys.readouterr().out
+    # --no-store disconnects the chain entirely.
+    assert main(base + ["--no-store", "--fresh"]) == 0
+    out = capsys.readouterr().out
+    assert "graph sources: 2 built" in out and "graph store off" in out
+
+
+def test_bench_cli_smoke_flag(tmp_path, capsys):
+    assert main(["bench", "graph-store", "--smoke", "--json",
+                 "--out", str(tmp_path)]) == 0
+    (report,) = json.loads(capsys.readouterr().out)
+    assert report["benchmark"] == "graph-store"
+    assert report["metadata"]["extra"]["smoke"] is True
+    assert (tmp_path / "BENCH_graph_store.json").is_file()
+    assert "sweep_construction_warm_vs_cold" in report["speedup"]
