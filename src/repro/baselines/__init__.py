@@ -1,4 +1,12 @@
-"""Round-optimal (message-heavy) baselines and sequential oracles."""
+"""Round-optimal (message-heavy) baselines and sequential oracles.
+
+:mod:`repro.baselines.reference` holds the raw sequential references;
+:mod:`repro.baselines.oracles` packages them as named, cacheable
+:class:`OracleSpec` entries (codec + source-revision hashing) for the
+oracle artifact family.  ``oracles`` is imported lazily by its
+consumers rather than here: its registration pulls in the
+decomposition stack, which plain reference users don't need.
+"""
 
 from repro.baselines.apsp_direct import (
     DirectAPSPResult,

@@ -1,0 +1,263 @@
+"""The named-oracle catalog: cacheable ground-truth functions.
+
+Every differential cell checks the simulator's output against a
+sequential baseline (:mod:`repro.baselines.reference`, plus the LDC
+reference decomposition).  Those baselines are pure functions of
+``(scenario graph, derived seed)`` -- which makes their outputs
+content-addressable artifacts, exactly like the graphs themselves.
+An :class:`OracleSpec` packages one such function for the oracle
+artifact family (:mod:`repro.store.oracles`):
+
+* ``compute`` -- the baseline itself, ``(graph, derived_seed) -> value``
+  (seed-deterministic; most references ignore the seed entirely);
+* ``encode``/``decode`` -- the numpy codec: how the value becomes the
+  store's arrays and back.  ``decode(encode(v)) == v`` must hold
+  exactly, so a cache hit feeds the differential check the same value
+  a fresh computation would (the byte-identity contract
+  ``tests/test_oracle_store.py`` pins);
+* ``depends`` -- every helper whose behavior the baseline inherits.
+
+The **code revision** of a spec -- part of the artifact key -- is a
+content hash over the *source text* of ``compute`` and everything in
+``depends``.  Editing an oracle function (or any named dependency)
+therefore rotates the key: stale cached baselines can never be served
+against new oracle code; the old entries simply age out via ``gc``.
+
+Registered oracles:
+
+==================  =====================================================
+name                value
+==================  =====================================================
+unweighted-apsp     n x n hop-distance matrix (``INF`` if unreachable);
+                    shared by the ``apsp-unweighted`` and
+                    ``bfs-collection`` bindings, so one artifact serves
+                    both cells of a scenario
+weighted-apsp       n x n weighted-distance matrix (Dijkstra, or
+                    Bellman-Ford under negative weights)
+matching-size       maximum bipartite matching cardinality
+                    (Hopcroft-Karp)
+ldc-reference       the exhaustively-verified (r, d) realization of the
+                    seed-deterministic LDC decomposition (the expensive
+                    per-cluster strong-diameter check)
+==================  =====================================================
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Tuple
+
+import numpy as np
+
+from repro.baselines import reference
+from repro.baselines.reference import INF
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.graphs.graph import Graph
+
+
+@dataclass(frozen=True)
+class OracleSpec:
+    """One named, cacheable baseline; see the module docstring."""
+
+    name: str
+    compute: Callable[["Graph", int], Any]
+    encode: Callable[[Any], Dict[str, np.ndarray]]
+    decode: Callable[[Dict[str, np.ndarray]], Any]
+    depends: Tuple[Any, ...] = ()
+    description: str = ""
+
+
+# Revision memo: hashing sources is cheap but not free, and every cell
+# resolution asks for it.  Keyed by the functions themselves so a
+# monkeypatched / replaced spec never reuses a stale hash.
+_REVISIONS: Dict[Tuple[Any, ...], str] = {}
+
+
+def _source_chunk(obj: Any) -> str:
+    """The revision ingredient for one object: its source text.
+
+    Objects without retrievable source (pyc-only installs, builtins)
+    fall back to their qualified name -- stable across processes, so a
+    degraded environment still shares one store key per oracle rather
+    than minting a fresh never-hitting key per process (a bare
+    ``repr`` would embed the memory address).
+    """
+    try:
+        return inspect.getsource(obj)
+    except (OSError, TypeError):
+        module = getattr(obj, "__module__", "")
+        name = getattr(obj, "__qualname__", None) or getattr(
+            obj, "__name__", None)
+        return f"{module}.{name}" if name else repr(obj)
+
+
+def oracle_revision(spec: OracleSpec) -> str:
+    """Content hash of the oracle's source (compute + codec + depends).
+
+    This is the ``revision`` coordinate of the oracle artifact key:
+    two processes at the same code agree on it, and any edit to the
+    baseline's source text -- the compute function, its declared
+    helpers, or the encode/decode codec (whose behavior a cached value
+    equally inherits) -- changes it: the cache-rotation contract.
+    """
+    memo_key = (spec.name, spec.compute, spec.encode, spec.decode,
+                spec.depends)
+    revision = _REVISIONS.get(memo_key)
+    if revision is None:
+        parts = (spec.compute, spec.encode, spec.decode) + \
+            tuple(spec.depends)
+        chunks: List[str] = [_source_chunk(obj) for obj in parts]
+        digest = hashlib.sha256("\n".join(chunks).encode("utf-8"))
+        revision = digest.hexdigest()[:12]
+        _REVISIONS[memo_key] = revision
+    return revision
+
+
+# ---------------------------------------------------------------------------
+# Codecs
+# ---------------------------------------------------------------------------
+
+def _encode_matrix(value: List[List[float]]) -> Dict[str, np.ndarray]:
+    return {"dist": np.asarray(value, dtype=np.float64)}
+
+
+def _decode_matrix(arrays: Dict[str, np.ndarray]) -> List[List[float]]:
+    """Back to the reference representation: int entries, float INF.
+
+    ``unweighted_apsp``/``weighted_apsp`` produce Python ints for
+    finite distances (every registered weight scheme is integral) and
+    ``float('inf')`` for unreachable pairs; the decode restores exactly
+    that, so a cached oracle is ``==`` to a recomputed one entry for
+    entry.  A non-integral float (should float weights ever appear)
+    round-trips as the float it was.
+    """
+    dist = arrays["dist"]
+    if dist.ndim != 2:
+        raise ValueError("oracle matrix must be 2-D")
+    out: List[List[float]] = []
+    for row in dist.tolist():
+        out.append([INF if math.isinf(x)
+                    else (int(x) if x == int(x) else x) for x in row])
+    return out
+
+
+def _encode_scalar(value: int) -> Dict[str, np.ndarray]:
+    return {"value": np.asarray([int(value)], dtype=np.int64)}
+
+
+def _decode_scalar(arrays: Dict[str, np.ndarray]) -> int:
+    value = arrays["value"]
+    if value.shape != (1,):
+        raise ValueError("oracle scalar must have shape (1,)")
+    return int(value[0])
+
+
+_LDC_FIELDS = ("valid", "r", "d", "clusters")
+
+
+def _encode_ldc(value: Dict[str, int]) -> Dict[str, np.ndarray]:
+    return {"stats": np.asarray(
+        [int(value[name]) for name in _LDC_FIELDS], dtype=np.int64)}
+
+
+def _decode_ldc(arrays: Dict[str, np.ndarray]) -> Dict[str, int]:
+    stats = arrays["stats"]
+    if stats.shape != (len(_LDC_FIELDS),):
+        raise ValueError("LDC oracle stats must have shape (4,)")
+    values = stats.tolist()
+    out = dict(zip(_LDC_FIELDS, (int(x) for x in values)))
+    out["valid"] = bool(out["valid"])
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Oracle functions
+# ---------------------------------------------------------------------------
+
+def unweighted_apsp_oracle(g: "Graph", seed: int) -> List[List[float]]:
+    """Hop-distance matrix: n sequential BFS runs (seed-independent)."""
+    return reference.unweighted_apsp(g)
+
+
+def weighted_apsp_oracle(g: "Graph", seed: int) -> List[List[float]]:
+    """Weighted distance matrix: Dijkstra / Bellman-Ford per source."""
+    return reference.weighted_apsp(g)
+
+
+def matching_size_oracle(g: "Graph", seed: int) -> int:
+    """Maximum bipartite matching cardinality via Hopcroft-Karp."""
+    return reference.maximum_matching_size(g)
+
+
+def ldc_reference_oracle(g: "Graph", seed: int) -> Dict[str, int]:
+    """The exhaustively-verified realization of the LDC decomposition.
+
+    ``build_ldc`` is seed-deterministic given ``(graph, seed)``, so its
+    realized ``(r, d, clusters)`` -- including the expensive per-cluster
+    strong-diameter check of ``verify_ldc`` -- is a pure function of the
+    cell coordinates and cacheable like any other baseline.  A
+    decomposition that violates Definition 2.3 is reported as
+    ``valid=False`` rather than raised, so the differential cell records
+    a failed check instead of crashing the sweep.
+    """
+    from repro.decomposition.ldc import build_ldc, verify_ldc
+
+    ldc = build_ldc(g, seed=seed)
+    try:
+        stats = verify_ldc(g, ldc)
+    except AssertionError:
+        return {"valid": False, "r": -1, "d": -1, "clusters": -1}
+    return {"valid": True, "r": int(stats["r"]), "d": int(stats["d"]),
+            "clusters": int(stats["clusters"])}
+
+
+def _ldc_depends() -> Tuple[Any, ...]:
+    """The LDC baseline inherits the whole decomposition pipeline."""
+    from repro.decomposition import ldc as ldc_mod
+    from repro.decomposition import mpx as mpx_mod
+
+    return (ldc_mod, mpx_mod)
+
+
+ORACLES: Dict[str, OracleSpec] = {spec.name: spec for spec in (
+    OracleSpec(
+        name="unweighted-apsp",
+        compute=unweighted_apsp_oracle,
+        encode=_encode_matrix, decode=_decode_matrix,
+        depends=(reference.unweighted_apsp, reference.bfs_distances),
+        description="n x n hop-distance matrix (n-fold BFS)"),
+    OracleSpec(
+        name="weighted-apsp",
+        compute=weighted_apsp_oracle,
+        encode=_encode_matrix, decode=_decode_matrix,
+        depends=(reference.weighted_apsp, reference.dijkstra,
+                 reference.bellman_ford),
+        description="n x n weighted distance matrix "
+                    "(Dijkstra / Bellman-Ford)"),
+    OracleSpec(
+        name="matching-size",
+        compute=matching_size_oracle,
+        encode=_encode_scalar, decode=_decode_scalar,
+        depends=(reference.maximum_matching_size, reference.hopcroft_karp),
+        description="maximum bipartite matching cardinality "
+                    "(Hopcroft-Karp)"),
+    OracleSpec(
+        name="ldc-reference",
+        compute=ldc_reference_oracle,
+        encode=_encode_ldc, decode=_decode_ldc,
+        depends=_ldc_depends(),
+        description="verified (r, d, clusters) realization of the "
+                    "seed-deterministic LDC decomposition"),
+)}
+
+
+def get_oracle(name: str) -> OracleSpec:
+    try:
+        return ORACLES[name]
+    except KeyError:
+        known = ", ".join(sorted(ORACLES))
+        raise KeyError(f"unknown oracle {name!r}; known: {known}") from None

@@ -30,6 +30,11 @@ Registered today:
   per scenario, plus a sweep's whole per-cell construction bill under
   a cold store (build + publish every key) vs. a warm one (mmap every
   key).  Supports ``--smoke``.  Writes ``BENCH_graph_store.json``.
+* ``oracle-store`` -- the oracle artifact family: computing a cell's
+  sequential baseline (n-fold BFS, Dijkstra sweeps, Hopcroft-Karp, the
+  LDC reference realization) vs. loading the published value, plus a
+  sweep's whole per-cell baseline bill under a cold vs. a warm store.
+  Supports ``--smoke``.  Writes ``BENCH_oracle_store.json``.
 """
 
 from __future__ import annotations
@@ -448,6 +453,149 @@ def bench_graph_store(smoke: bool = False) -> BenchReport:
         name="graph-store",
         scenario=" + ".join(f"{name}(size={size})" for name, size in cases)
                  + " snapshots; cold vs warm sweep construction",
+        timings=timings, speedups=speedups, extra=extra)
+
+
+# ---------------------------------------------------------------------------
+# oracle-store: cached differential baselines (the oracle family)
+# ---------------------------------------------------------------------------
+
+# Scenarios spanning the oracle shapes: the shared unweighted-apsp
+# matrix (+ the LDC reference realization) on a dense graph, a weighted
+# distance matrix, and the Hopcroft-Karp matching size.  Sizes are
+# large enough that the baseline computation dominates the fixed
+# per-load costs (manifest parse, mmap, decode) by a wide margin.
+_ORACLE_CASES = (("dense-gnp", 64), ("grid-weighted", 64),
+                 ("bipartite-balanced", 72))
+_ORACLE_CASES_SMOKE = (("dense-gnp", 16), ("grid-weighted", 12),
+                       ("bipartite-balanced", 14))
+
+
+@contextlib.contextmanager
+def _oracle_cache_state():
+    """Snapshot + restore the process-wide oracle cache configuration."""
+    from repro.runner import oracle_cache
+
+    store = oracle_cache.effective_store()
+    maxsize = oracle_cache.effective_maxsize()
+    try:
+        yield
+    finally:
+        oracle_cache.configure(maxsize)
+        oracle_cache.configure_store(None if store is None else store.root)
+
+
+@register_benchmark("oracle-store")
+def bench_oracle_store(smoke: bool = False) -> BenchReport:
+    import shutil
+    import tempfile
+
+    from repro.runner import oracle_cache
+    from repro.scenarios import get_binding, get_scenario
+    from repro.store import OracleStore
+
+    cases = _ORACLE_CASES_SMOKE if smoke else _ORACLE_CASES
+    reps = 1 if smoke else 3
+    timings: Dict[str, float] = {}
+    speedups: Dict[str, float] = {}
+    extra: Dict[str, Any] = {"smoke": smoke}
+
+    with _oracle_cache_state(), tempfile.TemporaryDirectory() as tmp:
+        root = pathlib.Path(tmp)
+        store = OracleStore(root / "warm")
+
+        # Build each case's graph once, outside every timed region: the
+        # graph-store benchmark owns construction costs; this one
+        # isolates the baseline bill.
+        prepared = []
+        for name, size in cases:
+            scenario = get_scenario(name)
+            derived = scenario.seed_for(size, 0)
+            graph = scenario.graph(size)
+            specs: Dict[str, Any] = {}
+            for algorithm in scenario.algorithms:
+                spec = get_binding(algorithm).oracle
+                if spec is not None:
+                    specs.setdefault(spec.name, spec)
+            prepared.append((scenario, size, derived, graph, specs))
+            extra[name] = {"n": graph.n, "m": graph.m, "size": size,
+                           "oracles": sorted(specs)}
+
+        # -- per-oracle: cold compute vs store load vs LRU hit ---------
+        for scenario, size, derived, graph, specs in prepared:
+            for oracle_name, spec in sorted(specs.items()):
+                value = spec.compute(graph, derived)
+                # Explicit checks, not asserts: load-bearing (the warm
+                # store feeds every later measurement) and must survive
+                # `python -O`.
+                if not store.publish(scenario.name, size, derived,
+                                     spec, value):
+                    raise RuntimeError(f"{oracle_name}: publish failed")
+                if store.load(scenario.name, size, derived,
+                              spec) != value:
+                    raise RuntimeError(
+                        f"{oracle_name}: cached value diverged")
+
+                compute = best_of(lambda: spec.compute(graph, derived),
+                                  reps)
+                load = best_of(
+                    lambda: store.load(scenario.name, size, derived, spec),
+                    reps)
+                oracle_cache.configure(oracle_cache.DEFAULT_MAXSIZE)
+                oracle_cache.configure_store(None)
+                oracle_cache.oracle_value_source(
+                    scenario.name, size, derived, spec, graph)  # warm LRU
+                lru_hit = best_of(
+                    lambda: oracle_cache.oracle_value_source(
+                        scenario.name, size, derived, spec, graph), reps)
+                label = f"oracle.{scenario.name}.{oracle_name}"
+                timings[f"{label}.cold_compute"] = compute
+                timings[f"{label}.store_load"] = load
+                timings[f"{label}.lru_hit"] = lru_hit
+                speedups[f"load_vs_compute.{scenario.name}."
+                         f"{oracle_name}"] = compute / load
+
+        # -- per-cell sweep baselines: cold store vs warm store --------
+        # Models a fresh sweep invocation's baseline bill: every cell
+        # with a bound oracle resolves it through the chain, LRU off so
+        # the disk path is what is measured.  Cold: every resolution
+        # computes and publishes.  Warm: every resolution loads.
+        def baseline_pass(store_dir):
+            oracle_cache.configure(0)
+            oracle_cache.configure_store(store_dir)
+            start = time.perf_counter()
+            for scenario, size, derived, graph, _specs in prepared:
+                for algorithm in scenario.algorithms:
+                    spec = get_binding(algorithm).oracle
+                    if spec is not None:
+                        oracle_cache.oracle_value_source(
+                            scenario.name, size, derived, spec, graph)
+            return time.perf_counter() - start
+
+        cold_times, warm_times = [], []
+        for rep in range(reps):
+            cold_root = root / f"cold-{rep}"
+            cold_times.append(baseline_pass(cold_root))
+            shutil.rmtree(cold_root)
+            warm_times.append(baseline_pass(store.root))
+        cold_sweep, warm_sweep = min(cold_times), min(warm_times)
+        timings["sweep_baselines.cold_store"] = cold_sweep
+        timings["sweep_baselines.warm_store"] = warm_sweep
+        speedups["sweep_baselines_warm_vs_cold"] = cold_sweep / warm_sweep
+        extra["sweep_baselines"] = {
+            "cells": sum(
+                1 for scenario, _size, _d, _g, _s in prepared
+                for algorithm in scenario.algorithms
+                if get_binding(algorithm).oracle is not None),
+            "cases": [f"{name}@{size}" for name, size in cases],
+        }
+        extra["store"] = store.stat()
+        extra["store"].pop("root", None)  # tempdir path: not reproducible
+
+    return BenchReport(
+        name="oracle-store",
+        scenario=" + ".join(f"{name}(size={size})" for name, size in cases)
+                 + " baselines; cold vs warm sweep baseline bill",
         timings=timings, speedups=speedups, extra=extra)
 
 

@@ -14,13 +14,14 @@ Examples
     python -m repro.cli scenarios sweep --sizes 16 24 --json
     python -m repro.cli sweep --workers 4                 # persisted + resumable
     python -m repro.cli sweep --workers 4 --retries 2     # re-queue failed cells
-    python -m repro.cli sweep --no-store                  # skip the graph store
+    python -m repro.cli sweep --no-store                  # skip the artifact store
+    python -m repro.cli sweep --no-oracle-store           # recompute baselines
     python -m repro.cli sweep --list-runs
     python -m repro.cli sweep --compare <run-id> --against <run-id>
-    python -m repro.cli store ls                          # graph snapshots on disk
-    python -m repro.cli store warm --names dense-gnp      # pre-build snapshots
-    python -m repro.cli store gc --keep-last 50
-    python -m repro.cli bench graph-core                  # BENCH_graph_core.json
+    python -m repro.cli store ls --family oracles         # cached baselines
+    python -m repro.cli store warm --names dense-gnp      # graphs + baselines
+    python -m repro.cli store gc --keep-last 50 --family graphs
+    python -m repro.cli bench oracle-store                # BENCH_oracle_store.json
 
 Each command prints the exact result summary plus the measured message
 and round costs; everything runs on the literal CONGEST simulator.
@@ -201,7 +202,13 @@ def _print_comparison(comparison) -> None:
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     """The runner-backed sweep: persist / resume / list / compare."""
-    from repro.runner import RunStore, compare_runs, graph_cache, run_sweep
+    from repro.runner import (
+        RunStore,
+        compare_runs,
+        graph_cache,
+        oracle_cache,
+        run_sweep,
+    )
     from repro.testing import summarize
 
     store = RunStore(args.runs_dir)
@@ -249,16 +256,25 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         if args.store:
             graph_store_dir = (args.store_dir if args.store_dir is not None
                                else str(pathlib.Path(args.runs_dir)
-                                        / "graph-store"))
+                                        / "store"))
         else:
             graph_store_dir = None
             graph_cache.configure_store(None)
+        # The oracle family shares the store root; --no-oracle-store
+        # (or --no-store) disconnects just-the-baselines / everything.
+        if args.store and args.oracle_store:
+            oracle_store_dir = graph_store_dir
+        else:
+            oracle_store_dir = None
+            oracle_cache.configure_store(None)
         outcome = run_sweep(args.names, sizes=args.sizes, seeds=args.seeds,
                             workers=args.workers, timeout=args.timeout,
                             retries=args.retries, store=store,
                             fresh=args.fresh,
                             graph_store_dir=graph_store_dir,
-                            graph_cache_size=args.graph_cache_size)
+                            graph_cache_size=args.graph_cache_size,
+                            oracle_store_dir=oracle_store_dir,
+                            oracle_cache_size=args.oracle_cache_size)
     except (KeyError, ValueError) as exc:
         message = exc.args[0] if exc.args else str(exc)
         print(f"error: {message}", file=sys.stderr)
@@ -297,6 +313,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             print(f"graph sources: {sources}"
                   + (f" (store: {graph_store_dir})" if graph_store_dir
                      else " (graph store off)"))
+        if summary["oracle_sources"]:
+            sources = ", ".join(
+                f"{count} {source}"
+                for source, count in sorted(
+                    summary["oracle_sources"].items()))
+            print(f"oracle sources: {sources}"
+                  + ("" if oracle_store_dir else " (oracle store off)"))
         stats = summarize(records)
         for failure in stats["failures"]:
             print(f"  FAIL {failure}")
@@ -329,47 +352,69 @@ def _parse_bytes(text: str) -> int:
     return value
 
 
-def _cmd_store(args: argparse.Namespace) -> int:
-    """The graph snapshot store: ls / stat / gc / warm."""
-    from repro.store import DEFAULT_STORE_DIR, GraphStore
-    from repro.store.graphs import warm
+def _entry_detail(entry) -> str:
+    """One compact human-readable column per artifact family."""
+    if entry.kind == "graphs":
+        meta = entry.manifest.get("graph", {})
+        weighted = " weighted" if meta.get("weighted") else ""
+        return f"n={meta.get('n', '?')} m={meta.get('m', '?')}{weighted}"
+    if entry.kind == "oracles":
+        identity = entry.identity
+        return (f"{identity.get('oracle', '?')} "
+                f"@{str(identity.get('revision', '?'))[:6]}")
+    if entry.kind == "decompositions":
+        meta = entry.manifest.get("decomposition", {})
+        return (f"{entry.identity.get('algorithm', '?')} "
+                f"clusters={meta.get('clusters', '?')}")
+    return ""
 
-    store = GraphStore(args.store_dir if args.store_dir is not None
-                       else DEFAULT_STORE_DIR)
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    """The artifact store: ls / stat / gc / warm, per-family aware."""
+    from repro.store import DEFAULT_STORE_DIR, ArtifactStore, family_names
+
+    root = (args.store_dir if args.store_dir is not None
+            else DEFAULT_STORE_DIR)
+    store = ArtifactStore(root)
+    family = getattr(args, "family", None)
+    if family is not None and args.action != "warm" \
+            and family not in family_names():
+        print(f"error: unknown artifact family {family!r}; known: "
+              f"{', '.join(family_names())}", file=sys.stderr)
+        return 2
 
     if args.action == "ls":
-        entries = store.ls()
+        entries = store.ls(family)
         if args.json:
             print(json.dumps(
-                [{"key": e.key, **e.identity,
+                [{"key": e.key, "family": e.kind, **e.identity,
                   **e.manifest.get("graph", {}),
                   "bytes": e.nbytes, "created_at": e.created_at}
                  for e in entries], indent=2))
             return 0
-        rows = [(e.key[:12], e.identity.get("scenario", "?"),
+        rows = [(e.key[:12], e.kind,
+                 e.identity.get("scenario", "?"),
                  e.identity.get("size", "?"),
                  e.identity.get("derived_seed", "?"),
-                 e.manifest.get("graph", {}).get("n", "?"),
-                 e.manifest.get("graph", {}).get("m", "?"),
-                 "yes" if e.manifest.get("graph", {}).get("weighted")
-                 else "no",
+                 _entry_detail(e),
                  e.nbytes)
                 for e in entries]
         print(format_table(
-            ["key", "scenario", "size", "derived-seed", "n", "m",
-             "weighted", "bytes"], rows))
-        print(f"\n{len(entries)} snapshot(s) under {store.root}")
+            ["key", "family", "scenario", "size", "derived-seed",
+             "detail", "bytes"], rows))
+        scope = f" [{family}]" if family else ""
+        print(f"\n{len(entries)} artifact(s){scope} under {store.root}")
         return 0
 
     if args.action == "stat":
-        stats = store.stat()
+        stats = store.stat(family)
         if args.json:
             print(json.dumps(stats, indent=2))
         else:
             print(f"store root : {stats['root']}")
             print(f"entries    : {stats['entries']}")
             print(f"bytes      : {stats['bytes']}")
-            for kind, bucket in sorted(stats["kinds"].items()):
+            for kind, bucket in sorted(stats["families"].items()):
                 print(f"  {kind}: {bucket['entries']} entries, "
                       f"{bucket['bytes']} bytes")
         return 0
@@ -382,7 +427,7 @@ def _cmd_store(args: argparse.Namespace) -> int:
             return 2
         try:
             removed = store.gc(keep_last=args.keep_last,
-                               max_bytes=args.max_bytes)
+                               max_bytes=args.max_bytes, kind=family)
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
@@ -392,28 +437,44 @@ def _cmd_store(args: argparse.Namespace) -> int:
                               "bytes_freed": freed}, indent=2))
         else:
             for entry in removed:
-                print(f"removed {entry.key[:12]} "
+                print(f"removed {entry.key[:12]} [{entry.kind}] "
                       f"({entry.identity.get('scenario', '?')}, "
                       f"{entry.nbytes} bytes)")
-            print(f"{len(removed)} snapshot(s) removed, {freed} bytes freed")
+            print(f"{len(removed)} artifact(s) removed, {freed} bytes freed")
         return 0
 
-    # warm: pre-build + publish the selected scenario graphs.
+    # warm: pre-build + publish graphs and/or baselines.
     from repro.scenarios import all_scenarios, get_scenario
+    from repro.store import GraphStore, OracleStore, warm, warm_oracles
 
+    if family not in (None, "graphs", "oracles", "all"):
+        print(f"error: warm supports --family graphs/oracles/all, "
+              f"got {family!r}", file=sys.stderr)
+        return 2
+    families = (("graphs", "oracles") if family in ("all", None)
+                else (family,))
     try:
         scenarios = (all_scenarios() if args.names is None
                      else [get_scenario(name) for name in args.names])
-        counts = warm(store, scenarios, sizes=args.sizes,
-                      seeds=tuple(args.seeds))
+        counts = {"published": 0, "skipped": 0}
+        if "graphs" in families:
+            got = warm(GraphStore(root), scenarios, sizes=args.sizes,
+                       seeds=tuple(args.seeds))
+            counts = {key: counts[key] + got[key] for key in counts}
+        if "oracles" in families:
+            got = warm_oracles(OracleStore(root), scenarios,
+                               sizes=args.sizes, seeds=tuple(args.seeds))
+            counts = {key: counts[key] + got[key] for key in counts}
     except (KeyError, ValueError) as exc:
         message = exc.args[0] if exc.args else str(exc)
         print(f"error: {message}", file=sys.stderr)
         return 2
     if args.json:
-        print(json.dumps({**counts, "root": str(store.root)}, indent=2))
+        print(json.dumps({**counts, "families": list(families),
+                          "root": str(store.root)}, indent=2))
     else:
-        print(f"warmed {store.root}: {counts['published']} published, "
+        print(f"warmed {store.root} ({'+'.join(families)}): "
+              f"{counts['published']} published, "
               f"{counts['skipped']} already present")
     return 0
 
@@ -546,17 +607,28 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run-store directory (default: runs/)")
     p.add_argument("--store", action=argparse.BooleanOptionalAction,
                    default=True,
-                   help="serve scenario graphs through the shared on-disk "
-                        "snapshot store (mmap'd CSR arrays, shared across "
-                        "workers, sweeps, and revisions); --no-store "
-                        "disables it (default: on)")
+                   help="serve scenario graphs and oracle baselines "
+                        "through the shared on-disk artifact store "
+                        "(mmap'd arrays, shared across workers, sweeps, "
+                        "and revisions); --no-store disables both "
+                        "families (default: on)")
     p.add_argument("--store-dir", default=None,
-                   help="graph-store directory (default: "
-                        "<runs-dir>/graph-store)")
+                   help="artifact-store directory (default: "
+                        "<runs-dir>/store)")
+    p.add_argument("--oracle-store", action=argparse.BooleanOptionalAction,
+                   default=True,
+                   help="serve differential baselines from the store's "
+                        "oracle family; --no-oracle-store computes every "
+                        "cell's baseline while keeping graph snapshots "
+                        "(default: on, moot under --no-store)")
     p.add_argument("--graph-cache-size", type=int, default=None,
                    help="per-worker graph LRU capacity (0 disables the "
                         "in-process cache; default: leave the configured "
                         "size, recorded in the run manifest)")
+    p.add_argument("--oracle-cache-size", type=int, default=None,
+                   help="per-worker oracle-value LRU capacity (0 disables "
+                        "it; default: leave the configured size, recorded "
+                        "in the run manifest)")
     p.add_argument("--fresh", action="store_true",
                    help="start a new run even if an incomplete "
                         "same-params run could be resumed")
@@ -576,33 +648,40 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "store",
-        help="the on-disk graph snapshot store: ls / stat / gc / warm "
-             "(src/repro/store/)")
+        help="the on-disk artifact store (graph snapshots, oracle "
+             "baselines): ls / stat / gc / warm (src/repro/store/)")
     store_sub = p.add_subparsers(dest="action", required=True)
 
     def _store_action(name, help_text):
         q = store_sub.add_parser(name, help=help_text)
         q.add_argument("--store-dir", default=None,
-                       help="store directory (default: runs/graph-store)")
+                       help="store directory (default: runs/store)")
+        q.add_argument("--family", default=None,
+                       help="restrict to one artifact family "
+                            "(graphs / oracles / decompositions; "
+                            "default: all)")
         q.add_argument("--json", action="store_true")
         q.set_defaults(func=_cmd_store)
         return q
 
-    _store_action("ls", "list stored graph snapshots")
-    _store_action("stat", "aggregate store statistics")
+    _store_action("ls", "list stored artifacts")
+    _store_action("stat",
+                  "aggregate store statistics with per-family breakdown")
 
     q = _store_action(
-        "gc", "prune old snapshots by count and/or total bytes")
+        "gc", "prune old artifacts by count and/or total bytes "
+              "(--family scopes the budget to one family)")
     q.add_argument("--keep-last", type=int, default=None,
-                   help="keep only the N newest snapshots")
+                   help="keep only the N newest artifacts")
     q.add_argument("--max-bytes", type=_parse_bytes, default=None,
-                   help="drop oldest snapshots until the payload fits "
+                   help="drop oldest artifacts until the payload fits "
                         "(integer bytes, K/M/G suffixes accepted)")
 
     q = _store_action(
         "warm",
-        "pre-build and publish scenario graphs so the next sweep "
-        "starts warm")
+        "pre-build and publish scenario graphs and baselines so the "
+        "next sweep starts warm (--family graphs/oracles/all, "
+        "default: all)")
     q.add_argument("--names", nargs="+", default=None,
                    help="scenarios to warm (default: all registered)")
     q.add_argument("--sizes", type=int, nargs="+", default=None,

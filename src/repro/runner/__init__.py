@@ -23,7 +23,12 @@ regression-tracked workload:
   shared on-disk snapshot store of :mod:`repro.store` (mmap'd CSR
   arrays) when one is configured, then to build-and-publish -- so
   same-scenario cells stop rebuilding their graph within *and across*
-  worker processes, sweeps, and revisions.
+  worker processes, sweeps, and revisions;
+* :mod:`repro.runner.oracle_cache` -- the mirror chain for the cells'
+  sequential baselines (ground-truth distance matrices, matching
+  sizes, the LDC reference realization), keyed additionally by the
+  oracle's name and source revision, so cells stop recomputing their
+  ground truth too.
 
 Consumers: the ``repro sweep`` CLI command, ``repro scenarios sweep``,
 :func:`repro.testing.sweep`, and ``examples/parallel_sweep.py``.

@@ -52,15 +52,20 @@ class SweepOutcome:
     def summary(self) -> Dict[str, Any]:
         by_status: Dict[str, int] = {}
         by_source: Dict[str, int] = {}
+        by_oracle: Dict[str, int] = {}
         for result in self.results:
             by_status[result.status] = by_status.get(result.status, 0) + 1
-            # Graph provenance is only meaningful for cells executed
-            # *this* invocation: restored records carry the source (and
-            # cache configuration) of the run that produced them.
+            # Graph/oracle provenance is only meaningful for cells
+            # executed *this* invocation: restored records carry the
+            # source (and cache configuration) of the run that produced
+            # them.
             if (result.record is not None
                     and result.key not in self.restored_keys):
                 source = result.record.get("graph_source", "built")
                 by_source[source] = by_source.get(source, 0) + 1
+                oracle = result.record.get("oracle_source", "none")
+                if oracle != "none":  # cells without a baseline: no row
+                    by_oracle[oracle] = by_oracle.get(oracle, 0) + 1
         return {
             "run_id": self.run_id,
             "cells": len(self.results),
@@ -71,8 +76,23 @@ class SweepOutcome:
             "failed": sum(1 for r in self.results if not r.passed),
             "statuses": by_status,
             "graph_sources": by_source,
+            "oracle_sources": by_oracle,
             "wall_time": sum(r.wall_time for r in self.results),
         }
+
+
+def _source_counts(executed: Sequence[CellResult]) -> Dict[str, Any]:
+    """Per-family provenance counts over one invocation's cell records."""
+    graphs: Dict[str, int] = {}
+    oracles: Dict[str, int] = {}
+    for result in executed:
+        if result.record is None:
+            continue
+        source = result.record.get("graph_source", "built")
+        graphs[source] = graphs.get(source, 0) + 1
+        oracle = result.record.get("oracle_source", "none")
+        oracles[oracle] = oracles.get(oracle, 0) + 1
+    return {"graphs": graphs, "oracles": oracles}
 
 
 def sweep_params(names: Optional[Sequence[str]],
@@ -96,7 +116,9 @@ def run_sweep(names: Optional[Sequence[str]] = None, *,
               on_result: Optional[OnResult] = None,
               specs: Optional[Sequence[JobSpec]] = None,
               graph_store_dir: "Optional[str]" = None,
-              graph_cache_size: Optional[int] = None) -> SweepOutcome:
+              graph_cache_size: Optional[int] = None,
+              oracle_store_dir: "Optional[str]" = None,
+              oracle_cache_size: Optional[int] = None) -> SweepOutcome:
     """Run (or resume) one sweep; see the module docstring.
 
     ``fresh=True`` always starts a new run directory even when an
@@ -107,19 +129,26 @@ def run_sweep(names: Optional[Sequence[str]] = None, *,
     are re-queued up to that many extra times before being recorded as
     failures (the cell record carries ``attempts``).
 
-    ``graph_store_dir`` connects the on-disk graph snapshot store
-    (:mod:`repro.store`) for this sweep and ``graph_cache_size``
-    re-sizes the per-worker graph LRU; both are process-wide settings
-    (propagated to pool workers through the environment) and are left
-    untouched when None.  The effective values are recorded in the run
-    manifest either way.
+    ``graph_store_dir`` / ``oracle_store_dir`` connect the on-disk
+    artifact store families (:mod:`repro.store`) for this sweep, and
+    ``graph_cache_size`` / ``oracle_cache_size`` re-size the per-worker
+    LRUs; all four are process-wide settings (propagated to pool
+    workers through the environment) and are left untouched when None.
+    The effective values are recorded in the run manifest either way,
+    and the run's store hit/miss counters (graphs and oracles, from the
+    cells executed this invocation) are stamped onto the manifest when
+    the sweep finishes.
     """
-    from repro.runner import graph_cache
+    from repro.runner import graph_cache, oracle_cache
 
     if graph_cache_size is not None:
         graph_cache.configure(graph_cache_size)
     if graph_store_dir is not None:
         graph_cache.configure_store(graph_store_dir)
+    if oracle_cache_size is not None:
+        oracle_cache.configure(oracle_cache_size)
+    if oracle_store_dir is not None:
+        oracle_cache.configure_store(oracle_store_dir)
 
     specs = (build_specs(names, sizes=sizes, seeds=seeds)
              if specs is None else list(specs))
@@ -135,11 +164,16 @@ def run_sweep(names: Optional[Sequence[str]] = None, *,
             resumed = run is not None
         if run is None:
             effective_store = graph_cache.effective_store()
+            effective_oracles = oracle_cache.effective_store()
             run = store.create_run(
                 specs, params, revision=revision,
                 extra={"graph_cache_size": graph_cache.effective_maxsize(),
                        "graph_store": (None if effective_store is None
-                                       else str(effective_store.root))})
+                                       else str(effective_store.root)),
+                       "oracle_cache_size":
+                           oracle_cache.effective_maxsize(),
+                       "oracle_store": (None if effective_oracles is None
+                                        else str(effective_oracles.root))})
         else:
             planned = set(spec.key for spec in specs)
             cached = {result.key: result for result in run.load_results()
@@ -155,6 +189,12 @@ def run_sweep(names: Optional[Sequence[str]] = None, *,
 
     executed = run_cells(todo, workers=workers, timeout=timeout,
                          retries=retries, on_result=persist)
+
+    if run is not None:
+        # Cache-efficacy provenance for *this* invocation's cells:
+        # how many graphs / baselines were served from the LRU, the
+        # disk store, or computed fresh (store hits vs misses).
+        run.update_manifest({"store_counters": _source_counts(executed)})
 
     merged = dict(cached)
     for result in executed:

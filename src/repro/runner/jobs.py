@@ -27,9 +27,10 @@ CellIdentity = Tuple[str, str, int, int]
 # same revision.  Single source of the "canonical payload" rule shared
 # by DifferentialRecord.canonical_dict and CellResult.canonical_record.
 # ``graph_source`` is where the cell's graph came from (built / lru /
-# store) -- provenance that depends on cache and store state, never on
-# the cell's deterministic payload.
-NONDETERMINISTIC_FIELDS = ("wall_time", "graph_source")
+# store) and ``oracle_source`` where its baseline came from (computed /
+# lru / store / none) -- provenance that depends on cache and store
+# state, never on the cell's deterministic payload.
+NONDETERMINISTIC_FIELDS = ("wall_time", "graph_source", "oracle_source")
 
 
 def error_headline(error: Optional[str]) -> str:

@@ -128,6 +128,22 @@ class Run:
                                      key=lambda r: r.spec.identity)
         return list(self._results_cache)
 
+    def update_manifest(self, extra: Dict[str, Any]) -> None:
+        """Merge keys into the manifest and rewrite it atomically.
+
+        The engine uses this to stamp post-execution facts (store
+        hit/miss counters) onto a run.  Core identity fields (params,
+        planned cells, revision) are never passed here; the atomic
+        replace mirrors ``create_run`` so a kill mid-write can't tear
+        the manifest.
+        """
+        self.manifest.update(extra)
+        tmp_path = self.path / (MANIFEST_NAME + ".tmp")
+        with open(tmp_path, "w", encoding="utf-8") as fh:
+            json.dump(self.manifest, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp_path, self.path / MANIFEST_NAME)
+
     def completed_keys(self) -> Set[str]:
         return {result.key for result in self.load_results()}
 

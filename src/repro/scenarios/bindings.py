@@ -1,12 +1,20 @@
 """Algorithm bindings: how a scenario graph is run and cross-checked.
 
 A :class:`Binding` names one algorithm family (APSP, BFS collections,
-matching, covers), a runner that executes the paper's distributed
-implementation on the literal CONGEST simulator, a sequential oracle
-from :mod:`repro.baselines.reference` the outputs must equal, and a
-metered-complexity :class:`Envelope` -- the Õ-bound the paper claims,
-with an explicit constant -- that the measured rounds and messages must
-stay inside.
+matching, covers, decompositions), a runner that executes the paper's
+distributed implementation on the literal CONGEST simulator, a named
+sequential **oracle** (:class:`repro.baselines.oracles.OracleSpec`) the
+outputs must equal, and a metered-complexity :class:`Envelope` -- the
+Õ-bound the paper claims, with an explicit constant -- that the
+measured rounds and messages must stay inside.
+
+Declaring the oracle as data (rather than calling the reference inline)
+is what lets the differential harness serve baselines through the
+oracle cache chain (:mod:`repro.runner.oracle_cache`): each runner
+accepts the resolved oracle value and only computes it itself when
+called standalone (``binding.run(graph, seed)`` stays valid).  The
+``cover`` binding has no sequential oracle -- its verification is
+self-contained -- so its ``oracle`` is None.
 
 The envelopes are deliberately loose (the paper's bounds hide polylog
 factors and constants; ours carry an explicit safety margin on top of
@@ -20,15 +28,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
 
-from repro.baselines.reference import (
-    bfs_distances,
-    is_matching,
-    maximum_matching_size,
-    unweighted_apsp as ref_unweighted,
-    weighted_apsp as ref_weighted,
-)
+from repro.baselines.oracles import INF, ORACLES, OracleSpec
+from repro.baselines.reference import is_matching
 from repro.core import (
     apsp_tradeoff,
     maximum_matching,
@@ -69,43 +72,67 @@ class BindingResult:
 
 @dataclass(frozen=True)
 class Binding:
+    """One algorithm family's runner + oracle + complexity envelope.
+
+    ``run(graph, seed, oracle=None)``: the resolved oracle value (from
+    the cache chain) is passed by the differential harness; ``None``
+    makes the runner compute its own baseline inline, so direct calls
+    keep working without the chain.  ``oracle`` (the spec) is ``None``
+    for self-verifying bindings.
+    """
+
     name: str
     family: str
     description: str
-    run: Callable[[Graph, int], BindingResult]
+    run: Callable[..., BindingResult]
     envelope: Envelope
+    oracle: Optional[OracleSpec] = None
+
+
+def _resolve(spec: OracleSpec, g: Graph, seed: int, oracle: Any) -> Any:
+    """The baseline value: as handed in by the chain, or computed here."""
+    return spec.compute(g, seed) if oracle is None else oracle
 
 
 # ---------------------------------------------------------------------------
 # Runners
 # ---------------------------------------------------------------------------
 
-def _run_apsp_unweighted(g: Graph, seed: int) -> BindingResult:
+def _run_apsp_unweighted(g: Graph, seed: int,
+                         oracle: Any = None) -> BindingResult:
     result = apsp_tradeoff(g, 0.0, seed=seed)
-    exact = result.dist == ref_unweighted(g)
+    ref = _resolve(ORACLES["unweighted-apsp"], g, seed, oracle)
+    exact = result.dist == ref
     return BindingResult(
         ok=exact, checks={"dist_equals_oracle": exact},
         metrics=result.metrics.as_dict(),
         detail={"regime": result.regime})
 
 
-def _run_apsp_weighted(g: Graph, seed: int) -> BindingResult:
+def _run_apsp_weighted(g: Graph, seed: int,
+                       oracle: Any = None) -> BindingResult:
     result = weighted_apsp(g, seed=seed)
-    exact = result.dist == ref_weighted(g)
+    ref = _resolve(ORACLES["weighted-apsp"], g, seed, oracle)
+    exact = result.dist == ref
     return BindingResult(
         ok=exact, checks={"dist_equals_oracle": exact},
         metrics=result.metrics.as_dict())
 
 
-def _run_bfs_collection(g: Graph, seed: int) -> BindingResult:
+def _run_bfs_collection(g: Graph, seed: int,
+                        oracle: Any = None) -> BindingResult:
     result = n_bfs_trees_star(g, 1.0, seed=seed)
+    # Shares the unweighted-apsp oracle matrix: row [root][v] is the
+    # hop distance, INF where the root's BFS never reaches v.
+    ref = _resolve(ORACLES["unweighted-apsp"], g, seed, oracle)
     exact = True
     for root in g.nodes():
-        oracle = bfs_distances(g, root)
+        row = ref[root]
         for v in g.nodes():
             record = result.trees[v].get(root)
             got = record[0] if record is not None else None
-            if got != oracle.get(v):
+            want = None if row[v] == INF else row[v]
+            if got != want:
                 exact = False
                 break
         if not exact:
@@ -115,10 +142,11 @@ def _run_bfs_collection(g: Graph, seed: int) -> BindingResult:
         metrics=result.metrics.as_dict())
 
 
-def _run_matching(g: Graph, seed: int) -> BindingResult:
+def _run_matching(g: Graph, seed: int, oracle: Any = None) -> BindingResult:
     result = maximum_matching(g, seed=seed)
     valid = is_matching(g, result.matching)
-    optimal = result.size == maximum_matching_size(g)
+    optimal = result.size == _resolve(ORACLES["matching-size"], g, seed,
+                                      oracle)
     return BindingResult(
         ok=valid and optimal,
         checks={"is_matching": valid, "size_equals_hopcroft_karp": optimal},
@@ -126,7 +154,7 @@ def _run_matching(g: Graph, seed: int) -> BindingResult:
         detail={"size": result.size, "s_bound": result.s_bound})
 
 
-def _run_cover(g: Graph, seed: int) -> BindingResult:
+def _run_cover(g: Graph, seed: int, oracle: Any = None) -> BindingResult:
     k, w = 2, 2
     result = neighborhood_cover_direct(g, k, w, seed=seed)
     try:
@@ -146,6 +174,62 @@ def _run_cover(g: Graph, seed: int) -> BindingResult:
         metrics=result.metrics.as_dict(),
         detail={"k": k, "w": w, **{key: float(val)
                                    for key, val in stats.items()}})
+
+
+def _run_ldc(g: Graph, seed: int, oracle: Any = None) -> BindingResult:
+    """Lemma 2.4: the distributed (MPX-derived) LDC decomposition.
+
+    The cheap Definition 2.3 predicates (clusters partition V, every
+    neighboring cluster is covered by an F-edge) are checked inline on
+    the realized decomposition; the expensive exhaustive realization --
+    the per-cluster strong-diameter check -- comes from the
+    ``ldc-reference`` oracle, which recomputes the seed-deterministic
+    decomposition sequentially.  ``realization_matches_reference`` is
+    the differential: any drift between the distributed run and the
+    (possibly cached) reference realization flips it.
+    """
+    from repro.decomposition.ldc import build_ldc
+    from repro.decomposition.mpx import shift_cap
+
+    result = build_ldc(g, seed=seed)
+    ref = _resolve(ORACLES["ldc-reference"], g, seed, oracle)
+    center_of = result.center_of
+    partition = set(center_of) == set(g.nodes())
+    f_ok = True
+    for v, edges in result.out_edges.items():
+        covered = {center_of[u] for (_v, u) in edges}
+        needed = {center_of[u] for u in g.neighbors(v)
+                  if center_of[u] != center_of[v]}
+        if not needed <= covered or any(
+                u not in g.neighbors(v) or center_of[u] == center_of[v]
+                for (_v, u) in edges):
+            f_ok = False
+            break
+    d = result.max_out_degree()
+    clusters = result.clustering.num_clusters
+    verified = bool(ref["valid"])
+    matches = verified and d == ref["d"] and clusters == ref["clusters"]
+    # Lemma 2.4 realization bounds: strong diameter <= 2 * max shift
+    # (the MPX cap), out-degree = #neighboring clusters = O(log n)
+    # w.h.p.; both carry the usual explicit safety margin.
+    r_bound = 4.0 * shift_cap(g.n, result.clustering.beta)
+    d_bound = 12.0 * _log2(g.n) + 8
+    r_ok = verified and ref["r"] <= r_bound
+    d_ok = verified and d <= d_bound
+    checks = {
+        "clusters_partition_v": partition,
+        "f_edges_cover_neighboring_clusters": f_ok,
+        "definition_verified_by_reference": verified,
+        "realization_matches_reference": matches,
+        "strong_diameter_within_bound": r_ok,
+        "out_degree_within_bound": d_ok,
+    }
+    return BindingResult(
+        ok=all(checks.values()), checks=checks,
+        metrics=result.metrics.as_dict(),
+        detail={"r": ref["r"], "d": d, "clusters": clusters,
+                "beta": result.clustering.beta,
+                "r_bound": r_bound, "d_bound": d_bound})
 
 
 # ---------------------------------------------------------------------------
@@ -187,33 +271,56 @@ _COVER_ENVELOPE = Envelope(
     messages_label="60·m·√n·log n",
 )
 
+# MPX + LDC edge selection (Lemma 2.4): O(log n / beta) rounds (the
+# shift cap plus the deepest adoption), broadcast complexity exactly n
+# -- each node broadcasts once upon adoption, costing deg(v) messages.
+# The additive terms floor the formulas at tiny n where per-round
+# constants dominate.
+_LDC_ENVELOPE = Envelope(
+    rounds=lambda n, m: 24 * (_log2(n) + 4),
+    messages=lambda n, m: 16 * (m + n) * _log2(n),
+    rounds_label="24·(log n + 4)",
+    messages_label="16·(m+n)·log n",
+)
+
 
 BINDINGS: Dict[str, Binding] = {b.name: b for b in (
     Binding(
         name="apsp-unweighted", family="apsp",
         description="Theorem 1.2 at eps=0: message-optimal unweighted "
                     "APSP vs the n-fold BFS oracle",
-        run=_run_apsp_unweighted, envelope=_APSP_ENVELOPE),
+        run=_run_apsp_unweighted, envelope=_APSP_ENVELOPE,
+        oracle=ORACLES["unweighted-apsp"]),
     Binding(
         name="apsp-weighted", family="apsp",
         description="Theorem 1.1: weighted APSP (directed / negative "
                     "weights allowed) vs Dijkstra / Bellman-Ford",
-        run=_run_apsp_weighted, envelope=_APSP_ENVELOPE),
+        run=_run_apsp_weighted, envelope=_APSP_ENVELOPE,
+        oracle=ORACLES["weighted-apsp"]),
     Binding(
         name="bfs-collection", family="bfs",
         description="Lemma 3.22: n BFS trees through the star "
                     "simulation vs per-root sequential BFS",
-        run=_run_bfs_collection, envelope=_BFS_STAR_ENVELOPE),
+        run=_run_bfs_collection, envelope=_BFS_STAR_ENVELOPE,
+        oracle=ORACLES["unweighted-apsp"]),
     Binding(
         name="matching", family="matching",
         description="Corollary 2.8: exact bipartite maximum matching "
                     "vs Hopcroft-Karp",
-        run=_run_matching, envelope=_MATCHING_ENVELOPE),
+        run=_run_matching, envelope=_MATCHING_ENVELOPE,
+        oracle=ORACLES["matching-size"]),
     Binding(
         name="cover", family="cover",
         description="Corollary 2.9: (2,2)-sparse neighborhood cover, "
                     "verified padding / depth / overlap",
         run=_run_cover, envelope=_COVER_ENVELOPE),
+    Binding(
+        name="ldc", family="decomposition",
+        description="Lemma 2.4: (O(log n), O(log n))-LDC decomposition "
+                    "via MPX vs the exhaustively-verified sequential "
+                    "realization",
+        run=_run_ldc, envelope=_LDC_ENVELOPE,
+        oracle=ORACLES["ldc-reference"]),
 )}
 
 

@@ -1,24 +1,29 @@
-"""The on-disk content-addressed artifact store (ISSUE 4).
+"""The on-disk content-addressed artifact store (ISSUE 4 + ISSUE 5).
 
-PR 3's graph LRU is process-local: every pool worker and every fresh
-``repro sweep`` invocation rebuilds the same seed-deterministic graphs
-from scratch.  This package is the shared substrate underneath that
-LRU -- immutable artifacts on disk, content-addressed by their identity
-coordinates, published atomically so concurrent pool workers can read
-and write one store safely, and loaded via ``np.load(mmap_mode="r")``
-so a snapshot costs file headers instead of generator work:
+One gitignored store root holds every immutable artifact the sweep
+path can reuse instead of recompute, organized as typed **artifact
+families** over a shared byte layer:
 
-* :mod:`repro.store.artifacts` -- the generic store: keys, atomic
-  write-then-rename publication, mmap'd reads with corruption
-  quarantine, ``ls``/``stat``/``gc`` maintenance;
-* :mod:`repro.store.graphs` -- the first artifact type: CSR graph
-  snapshots (``indptr``/``indices`` + ordered weight arrays) keyed by
-  ``(scenario, size, derived construction seed)``.
+* :mod:`repro.store.artifacts` -- the byte layer: content keys, atomic
+  write-then-rename publication (safe under racing pool workers),
+  mmap'd reads with corruption quarantine, ``ls``/``stat``/``gc``
+  maintenance with per-family scoping;
+* :mod:`repro.store.families` -- the typed registry: each family
+  declares its kind, key schema, and payload schema version (both
+  schema versions are hashed into every content key);
+* :mod:`repro.store.graphs` -- CSR graph snapshots keyed by
+  ``(scenario, size, derived construction seed)``;
+* :mod:`repro.store.oracles` -- differential baseline outputs keyed by
+  ``(scenario, size, derived seed, oracle name, baseline source
+  revision)``, so cells skip recomputing their ground truth;
+* :mod:`repro.store.decompositions` -- decomposition hierarchies
+  (registered stub: serialization ready, no sweep-path consumer yet).
 
-Consumers: the fall-through chain in :mod:`repro.runner.graph_cache`
-(in-process LRU -> this store -> build-and-publish), the ``repro
-store`` CLI family (``ls``/``stat``/``gc``/``warm``), and the
-``graph-store`` benchmark.
+Consumers: the fall-through chains in :mod:`repro.runner.graph_cache`
+and :mod:`repro.runner.oracle_cache` (in-process LRU -> this store ->
+compute-and-publish), the ``repro store`` CLI family
+(``ls``/``stat``/``gc``/``warm``, all ``--family``-aware), and the
+``graph-store`` / ``oracle-store`` benchmarks.
 """
 
 from repro.store.artifacts import (
@@ -28,9 +33,27 @@ from repro.store.artifacts import (
     ArtifactStore,
     artifact_key,
 )
-from repro.store.graphs import GraphStore, graph_key, warm
+from repro.store.families import (
+    ArtifactFamily,
+    all_families,
+    family_names,
+    get_family,
+    register_family,
+)
+from repro.store.graphs import GRAPH_FAMILY, GraphStore, graph_key, warm
+from repro.store.oracles import (
+    ORACLE_FAMILY,
+    OracleStore,
+    oracle_key,
+    warm_oracles,
+)
+from repro.store.decompositions import DECOMPOSITION_FAMILY, DecompositionStore
 
 __all__ = [
-    "ArtifactEntry", "ArtifactStore", "DEFAULT_STORE_DIR", "GraphStore",
-    "SCHEMA_VERSION", "artifact_key", "graph_key", "warm",
+    "ArtifactEntry", "ArtifactFamily", "ArtifactStore",
+    "DECOMPOSITION_FAMILY", "DEFAULT_STORE_DIR", "DecompositionStore",
+    "GRAPH_FAMILY", "GraphStore", "ORACLE_FAMILY", "OracleStore",
+    "SCHEMA_VERSION", "all_families", "artifact_key", "family_names",
+    "get_family", "graph_key", "oracle_key", "register_family", "warm",
+    "warm_oracles",
 ]

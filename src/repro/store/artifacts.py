@@ -1,16 +1,22 @@
-"""The generic content-addressed on-disk artifact store.
+"""The generic content-addressed on-disk artifact store (the byte layer).
 
 One store root holds immutable artifacts, each a *directory* of numpy
 arrays plus a schema-versioned JSON manifest, addressed by a content
-key hashed from the artifact's identity (kind + coordinates).  Layout::
+key hashed from the artifact's identity (kind + family schema +
+coordinates).  What the arrays *mean* is declared by the typed
+artifact-family registry (:mod:`repro.store.families`); this module
+only guarantees that publication is atomic, reads are cheap, and
+corruption degrades to a recompute.  Layout::
 
     store/
-      graphs/                       # one subtree per artifact kind
+      graphs/                       # one subtree per artifact family
         3f/                         # two-hex-char fan-out
           3fa92c.../                # one directory per artifact key
             manifest.json           # schema, identity, array inventory
             indptr.npy              # the payload arrays, one file each
             indices.npy
+      oracles/                      # every family shares this layout
+        ...
 
 The design constraints, in order:
 
@@ -47,6 +53,11 @@ from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.store.families import ArtifactFamily
+
+# Version of the *container* format (directory layout + manifest shape).
+# Each family additionally carries its own payload schema_version; both
+# are hashed into every content key and checked on read.
 SCHEMA_VERSION = 1
 MANIFEST_NAME = "manifest.json"
 TMP_PREFIX = ".tmp-"
@@ -58,20 +69,24 @@ TMP_SWEEP_AGE_SECONDS = 3600.0
 
 # Default store root, shared with the CLI: co-located with the run
 # store so `repro sweep` leaves everything under one gitignored tree.
-DEFAULT_STORE_DIR = os.path.join("runs", "graph-store")
+# One root serves every artifact family (graphs/, oracles/, ...).
+DEFAULT_STORE_DIR = os.path.join("runs", "store")
 
 
-def artifact_key(kind: str, identity: Dict[str, Any]) -> str:
+def artifact_key(kind: str, identity: Dict[str, Any],
+                 family_schema: int = 1) -> str:
     """The content address of one artifact: stable across processes.
 
-    Hashes the canonical JSON of ``(kind, schema version, identity)``,
-    mirroring :func:`repro.runner.jobs.cell_key`.  The schema version is
-    part of the key, so a format change can never serve stale bytes to
-    new readers -- old entries simply stop being addressed and age out
+    Hashes the canonical JSON of ``(kind, container schema, family
+    schema, identity)``, mirroring :func:`repro.runner.jobs.cell_key`.
+    Both schema versions are part of the key, so a format change --
+    container-wide or family-local -- can never serve stale bytes to
+    new readers; old entries simply stop being addressed and age out
     via ``gc``.
     """
     payload = json.dumps(
-        {"kind": kind, "schema": SCHEMA_VERSION, "identity": identity},
+        {"kind": kind, "schema": SCHEMA_VERSION,
+         "family_schema": family_schema, "identity": identity},
         sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:24]
 
@@ -112,24 +127,31 @@ class ArtifactStore:
     def entry_path(self, kind: str, key: str) -> Path:
         return self.root / kind / key[:2] / key
 
-    def exists(self, kind: str, key: str) -> bool:
-        return (self.entry_path(kind, key) / MANIFEST_NAME).is_file()
+    def exists(self, family: ArtifactFamily, identity: Dict[str, Any]) -> bool:
+        key = family.key(family.identity(**identity))
+        return (self.entry_path(family.kind, key) / MANIFEST_NAME).is_file()
 
     # ------------------------------------------------------------------
     # Publication
     # ------------------------------------------------------------------
-    def publish(self, kind: str, key: str,
-                arrays: Dict[str, np.ndarray],
+    def publish(self, family: ArtifactFamily,
                 identity: Dict[str, Any],
+                arrays: Dict[str, np.ndarray],
                 extra: Optional[Dict[str, Any]] = None) -> bool:
         """Atomically publish one artifact; return True if *we* published.
 
-        False means the key was already present (or another writer won
-        the publication race while we were writing) -- either way a
-        valid entry exists afterwards.  Never raises on a lost race;
-        filesystem errors building the temp entry do propagate, since
-        they mean the store itself is unusable (disk full, bad root).
+        ``identity`` must match the family's key schema exactly (a
+        wrong coordinate set raises instead of silently hashing into a
+        bogus key).  False means the key was already present (or
+        another writer won the publication race while we were writing)
+        -- either way a valid entry exists afterwards.  Never raises on
+        a lost race; filesystem errors building the temp entry do
+        propagate, since they mean the store itself is unusable (disk
+        full, bad root).
         """
+        identity = family.identity(**identity)
+        kind = family.kind
+        key = family.key(identity)
         final = self.entry_path(kind, key)
         if (final / MANIFEST_NAME).is_file():
             return False
@@ -157,6 +179,7 @@ class ArtifactStore:
                 }
             manifest = {
                 "schema_version": SCHEMA_VERSION,
+                "family_schema": family.schema_version,
                 "kind": kind,
                 "key": key,
                 "identity": identity,
@@ -196,16 +219,20 @@ class ArtifactStore:
     # ------------------------------------------------------------------
     # Reading
     # ------------------------------------------------------------------
-    def open(self, kind: str, key: str
+    def open(self, family: ArtifactFamily, identity: Dict[str, Any]
              ) -> Optional[Tuple[Dict[str, Any], Dict[str, np.ndarray]]]:
         """``(manifest, {name: mmap'd array})`` -- or None on miss/corrupt.
 
         Every array declared by the manifest is opened with
         ``np.load(mmap_mode="r")`` and checked against the declared
         byte size, dtype, and shape.  Any mismatch (truncated file,
-        mangled manifest, missing array) quarantines the entry and
-        returns None, so callers fall through to a rebuild.
+        mangled manifest, missing array, schema skew against the
+        family's declared versions) quarantines the entry and returns
+        None, so callers fall through to a rebuild.
         """
+        identity = family.identity(**identity)
+        kind = family.kind
+        key = family.key(identity)
         path = self.entry_path(kind, key)
         manifest_path = path / MANIFEST_NAME
         try:
@@ -225,8 +252,11 @@ class ArtifactStore:
             # a miss this time, but never grounds to delete the entry.
             return None
         if (manifest.get("schema_version") != SCHEMA_VERSION
+                or manifest.get("family_schema") != family.schema_version
                 or manifest.get("kind") != kind
                 or not isinstance(manifest.get("arrays"), dict)):
+            # The key hashes both schema versions, so a manifest that
+            # disagrees with its own address is corruption, not skew.
             self._quarantine(path)
             return None
         arrays: Dict[str, np.ndarray] = {}
@@ -285,20 +315,21 @@ class ArtifactStore:
         entries.sort(key=lambda e: (e.created_at, e.key))
         return entries
 
-    def stat(self) -> Dict[str, Any]:
-        """Aggregate store statistics for ``repro store stat``."""
-        entries = self.ls()
-        by_kind: Dict[str, Dict[str, int]] = {}
+    def stat(self, kind: Optional[str] = None) -> Dict[str, Any]:
+        """Aggregate store statistics (optionally one family) for
+        ``repro store stat``: totals plus a per-family breakdown."""
+        entries = self.ls(kind)
+        by_family: Dict[str, Dict[str, int]] = {}
         for entry in entries:
-            bucket = by_kind.setdefault(entry.kind,
-                                        {"entries": 0, "bytes": 0})
+            bucket = by_family.setdefault(entry.kind,
+                                          {"entries": 0, "bytes": 0})
             bucket["entries"] += 1
             bucket["bytes"] += entry.nbytes
         return {
             "root": str(self.root),
             "entries": len(entries),
             "bytes": sum(e.nbytes for e in entries),
-            "kinds": by_kind,
+            "families": by_family,
         }
 
     def remove(self, kind: str, key: str) -> bool:
@@ -309,16 +340,20 @@ class ArtifactStore:
         return True
 
     def gc(self, keep_last: Optional[int] = None,
-           max_bytes: Optional[int] = None) -> List[ArtifactEntry]:
+           max_bytes: Optional[int] = None,
+           kind: Optional[str] = None) -> List[ArtifactEntry]:
         """Prune old entries; return what was removed.
 
         ``keep_last`` keeps only the N newest entries (by publication
         time); ``max_bytes`` then drops the oldest survivors until the
         total payload fits the budget.  Either may be given alone.
+        ``kind`` scopes both budgets to one artifact family, so graph
+        snapshots and oracle outputs can be pruned independently
+        (entries of other families are neither counted nor touched).
         Stray temp directories from crashed writers are always swept.
         """
         removed: List[ArtifactEntry] = []
-        entries = self.ls()
+        entries = self.ls(kind)
         survivors = list(entries)
         if keep_last is not None:
             if keep_last < 0:

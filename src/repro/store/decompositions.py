@@ -1,0 +1,132 @@
+"""Decomposition-hierarchy snapshots: the third artifact family (stub).
+
+The ROADMAP's next artifact type after oracle outputs: a seed-
+deterministic decomposition (today: the LDC decomposition of
+Lemma 2.4) is as content-addressable as the graph it was built from,
+keyed by::
+
+    (scenario, size, derived_seed, algorithm)
+
+This module registers the family and provides a minimal typed codec --
+the cluster map (``center_of``/``dist``/``parent`` as dense per-node
+arrays) plus the directed inter-cluster edge set F -- so sharded
+sweeps can eventually agree on one decomposition without re-deriving
+it.  It is deliberately a *stub*: nothing in the sweep path consumes it
+yet (the LDC differential cells cache their baseline through the
+oracle family instead); the round trip is pinned by
+``tests/test_oracle_store.py`` so the serialization is ready when a
+consumer lands.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.store.artifacts import (
+    DEFAULT_STORE_DIR,
+    ArtifactEntry,
+    ArtifactStore,
+)
+from repro.store.families import ArtifactFamily, register_family
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from pathlib import Path
+
+    from repro.decomposition.ldc import LDCDecomposition
+
+DECOMPOSITION_KIND = "decompositions"
+
+DECOMPOSITION_FAMILY = register_family(ArtifactFamily(
+    kind=DECOMPOSITION_KIND,
+    key_fields=("scenario", "size", "derived_seed", "algorithm"),
+    schema_version=1,
+    description="decomposition hierarchies (cluster maps + inter-cluster "
+                "edge sets); registered ahead of a sweep-path consumer"))
+
+
+def decomposition_identity(scenario: str, size: int, derived_seed: int,
+                           algorithm: str) -> Dict[str, Any]:
+    return DECOMPOSITION_FAMILY.identity(
+        scenario=scenario, size=size, derived_seed=derived_seed,
+        algorithm=algorithm)
+
+
+class DecompositionStore:
+    """The decomposition-family view over an :class:`ArtifactStore` root."""
+
+    def __init__(self, root: "str | Path" = DEFAULT_STORE_DIR):
+        self.artifacts = ArtifactStore(root)
+
+    @property
+    def root(self):
+        return self.artifacts.root
+
+    def publish(self, scenario: str, size: int, derived_seed: int,
+                algorithm: str, ldc: "LDCDecomposition") -> bool:
+        """Snapshot one LDC decomposition; True if *we* published it."""
+        nodes = sorted(ldc.center_of)
+        center = np.asarray([ldc.center_of[v] for v in nodes],
+                            dtype=np.int64)
+        dist = np.asarray([ldc.clustering.dist[v] for v in nodes],
+                          dtype=np.int64)
+        parent = np.asarray(
+            [-1 if ldc.parent[v] is None else ldc.parent[v] for v in nodes],
+            dtype=np.int64)
+        f_edges = sorted(ldc.f_edges())
+        edges = np.asarray(f_edges, dtype=np.int64).reshape(-1, 2)
+        return self.artifacts.publish(
+            DECOMPOSITION_FAMILY,
+            decomposition_identity(scenario, size, derived_seed, algorithm),
+            {"center": center, "dist": dist, "parent": parent,
+             "f_edges": edges},
+            extra={"decomposition": {
+                "n": len(nodes),
+                "clusters": ldc.clustering.num_clusters,
+                "beta": ldc.clustering.beta,
+            }})
+
+    def load(self, scenario: str, size: int, derived_seed: int,
+             algorithm: str) -> Optional[Dict[str, Any]]:
+        """The snapshot as plain dicts, or None on miss/corruption.
+
+        Returns ``{"center_of", "dist", "parent", "f_edges"}`` with the
+        same Python shapes the decomposition exposes (``parent`` maps
+        centers to None, ``f_edges`` is a sorted (u, v) list).
+        """
+        identity = decomposition_identity(scenario, size, derived_seed,
+                                          algorithm)
+        opened = self.artifacts.open(DECOMPOSITION_FAMILY, identity)
+        if opened is None:
+            return None
+        manifest, arrays = opened
+        try:
+            center = arrays["center"].tolist()
+            dist = arrays["dist"].tolist()
+            parent = arrays["parent"].tolist()
+            edges = arrays["f_edges"]
+            n = int(manifest["decomposition"]["n"])
+            if not (len(center) == len(dist) == len(parent) == n
+                    and edges.ndim == 2 and edges.shape[1:] == (2,)):
+                raise ValueError("decomposition arrays inconsistent")
+        except (KeyError, ValueError, TypeError):
+            self.artifacts.remove(DECOMPOSITION_KIND,
+                                  DECOMPOSITION_FAMILY.key(identity))
+            return None
+        return {
+            "center_of": {v: center[v] for v in range(n)},
+            "dist": {v: dist[v] for v in range(n)},
+            "parent": {v: (None if parent[v] < 0 else parent[v])
+                       for v in range(n)},
+            "f_edges": [tuple(edge) for edge in edges.tolist()],
+        }
+
+    def contains(self, scenario: str, size: int, derived_seed: int,
+                 algorithm: str) -> bool:
+        return self.artifacts.exists(
+            DECOMPOSITION_FAMILY,
+            decomposition_identity(scenario, size, derived_seed, algorithm))
+
+    def ls(self) -> List[ArtifactEntry]:
+        return self.artifacts.ls(DECOMPOSITION_KIND)

@@ -1,10 +1,10 @@
-"""CSR graph snapshots: the store's first artifact type.
+"""CSR graph snapshots: the store's first artifact family.
 
 A scenario graph is fully determined by ``(scenario name, size, derived
 construction seed)`` -- the same content address the in-process LRU of
 :mod:`repro.runner.graph_cache` uses -- and its storage form is already
 a pair of CSR numpy arrays plus (optionally) a weight mapping.  That
-makes it the ideal first artifact: publish the arrays once, and every
+makes it the ideal first family: publish the arrays once, and every
 pool worker, repeated sweep, and future revision mmaps them back
 instead of re-running the generator.
 
@@ -35,8 +35,8 @@ from repro.store.artifacts import (
     DEFAULT_STORE_DIR,
     ArtifactEntry,
     ArtifactStore,
-    artifact_key,
 )
+from repro.store.families import ArtifactFamily, register_family
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from pathlib import Path
@@ -45,21 +45,27 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 GRAPH_KIND = "graphs"
 
+GRAPH_FAMILY = register_family(ArtifactFamily(
+    kind=GRAPH_KIND,
+    key_fields=("scenario", "size", "derived_seed"),
+    schema_version=1,
+    description="CSR scenario-graph snapshots (indptr/indices + ordered "
+                "weight arrays), mmap'd back as Graph instances"))
+
 
 def graph_identity(scenario: str, size: int,
                    derived_seed: int) -> Dict[str, Any]:
-    return {"scenario": scenario, "size": size,
-            "derived_seed": derived_seed}
+    return GRAPH_FAMILY.identity(scenario=scenario, size=size,
+                                 derived_seed=derived_seed)
 
 
 def graph_key(scenario: str, size: int, derived_seed: int) -> str:
     """The content address of one scenario graph snapshot."""
-    return artifact_key(GRAPH_KIND,
-                        graph_identity(scenario, size, derived_seed))
+    return GRAPH_FAMILY.key(graph_identity(scenario, size, derived_seed))
 
 
 class GraphStore:
-    """The graph-snapshot view over an :class:`ArtifactStore` root."""
+    """The graph-family view over an :class:`ArtifactStore` root."""
 
     def __init__(self, root: "str | Path" = DEFAULT_STORE_DIR):
         self.artifacts = ArtifactStore(root)
@@ -102,10 +108,9 @@ class GraphStore:
                 return False
             arrays["weight_keys"] = keys.reshape(-1, 2)
             arrays["weight_vals"] = vals
-        key = graph_key(scenario, size, derived_seed)
         return self.artifacts.publish(
-            GRAPH_KIND, key, arrays,
-            identity=graph_identity(scenario, size, derived_seed),
+            GRAPH_FAMILY,
+            graph_identity(scenario, size, derived_seed), arrays,
             extra={"graph": {"name": graph.name, "n": graph.n,
                              "m": graph.m, "weighted": weighted}})
 
@@ -126,8 +131,8 @@ class GraphStore:
         """
         from repro.graphs.graph import Graph
 
-        key = graph_key(scenario, size, derived_seed)
-        opened = self.artifacts.open(GRAPH_KIND, key)
+        identity = graph_identity(scenario, size, derived_seed)
+        opened = self.artifacts.open(GRAPH_FAMILY, identity)
         if opened is None:
             return None
         manifest, arrays = opened
@@ -150,7 +155,7 @@ class GraphStore:
                     (u, v): w
                     for (u, v), w in zip(keys.tolist(), vals.tolist())}
         except (KeyError, ValueError, TypeError):
-            self.artifacts.remove(GRAPH_KIND, key)
+            self.artifacts.remove(GRAPH_KIND, GRAPH_FAMILY.key(identity))
             return None
         graph = Graph._from_csr(indptr, indices, name=name)
         if weights is not None:
@@ -163,10 +168,10 @@ class GraphStore:
 
     def contains(self, scenario: str, size: int, derived_seed: int) -> bool:
         return self.artifacts.exists(
-            GRAPH_KIND, graph_key(scenario, size, derived_seed))
+            GRAPH_FAMILY, graph_identity(scenario, size, derived_seed))
 
     # ------------------------------------------------------------------
-    # Inventory / maintenance (delegates, graph-kind scoped where apt)
+    # Inventory / maintenance (delegates, graph-family scoped where apt)
     # ------------------------------------------------------------------
     def ls(self) -> List[ArtifactEntry]:
         return self.artifacts.ls(GRAPH_KIND)

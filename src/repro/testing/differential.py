@@ -43,6 +43,7 @@ class DifferentialRecord:
     derived_seed: int = 0          # the construction seed fed to build()
     wall_time: float = 0.0         # seconds spent building + running the cell
     graph_source: str = "built"    # where the graph came from: built/lru/store
+    oracle_source: str = "none"    # baseline origin: computed/lru/store/none
 
     @property
     def passed(self) -> bool:
@@ -67,6 +68,7 @@ class DifferentialRecord:
             "detail": self.detail,
             "wall_time": self.wall_time,
             "graph_source": self.graph_source,
+            "oracle_source": self.oracle_source,
         }
 
     def canonical_dict(self) -> Dict[str, Any]:
@@ -76,8 +78,9 @@ class DifferentialRecord:
         cell at the same code revision agree exactly on this dict -- the
         identity the run store's resume logic and the ``--compare``
         regression diff are built on.  The excluded fields are named by
-        ``repro.runner.jobs.NONDETERMINISTIC_FIELDS`` (today: only
-        ``wall_time``), shared with ``CellResult.canonical_record``.
+        ``repro.runner.jobs.NONDETERMINISTIC_FIELDS`` (``wall_time``
+        plus the ``graph_source``/``oracle_source`` provenance), shared
+        with ``CellResult.canonical_record``.
         """
         from repro.runner.jobs import NONDETERMINISTIC_FIELDS
 
@@ -116,10 +119,17 @@ def run_differential(scenario: Scenario | str, algorithm: str, *,
     derived construction seed: consecutive cells over the same scenario
     x size (one per bound algorithm) reuse one built graph -- and its
     memoized simulator precomputation -- instead of rebuilding it per
-    cell.  The chain's answer is recorded as ``graph_source`` on the
-    record (a nondeterministic field: provenance, not payload).
+    cell.  The binding's sequential baseline resolves through the
+    mirror chain of :mod:`repro.runner.oracle_cache` (in-process LRU ->
+    oracle store -> compute-and-publish), keyed by the oracle name and
+    its source revision on top of the cell coordinates, so cells skip
+    recomputing their ground truth the same way they skip rebuilding
+    their graph.  Both chains' answers are recorded on the record
+    (``graph_source`` / ``oracle_source`` -- nondeterministic fields:
+    provenance, not payload).
     """
     from repro.runner.graph_cache import scenario_graph_source
+    from repro.runner.oracle_cache import binding_oracle_source
 
     if isinstance(scenario, str):
         scenario = get_scenario(scenario)
@@ -132,7 +142,9 @@ def run_differential(scenario: Scenario | str, algorithm: str, *,
     derived_seed = scenario.seed_for(size, seed)
     start = time.perf_counter()
     graph, graph_source = scenario_graph_source(scenario, size, seed=seed)
-    result = binding.run(graph, derived_seed)
+    oracle, oracle_source = binding_oracle_source(scenario, size, seed,
+                                                  binding, graph)
+    result = binding.run(graph, derived_seed, oracle=oracle)
     wall_time = time.perf_counter() - start
     envelope = binding.envelope.evaluate(graph.n, graph.m,
                                          slack=scenario.envelope_slack)
@@ -144,7 +156,7 @@ def run_differential(scenario: Scenario | str, algorithm: str, *,
         ok=result.ok, envelope_ok=envelope_ok, checks=result.checks,
         metrics=result.metrics, envelope=envelope, detail=result.detail,
         derived_seed=derived_seed, wall_time=wall_time,
-        graph_source=graph_source)
+        graph_source=graph_source, oracle_source=oracle_source)
 
 
 def record_from_dict(payload: Dict[str, Any]) -> DifferentialRecord:

@@ -28,15 +28,15 @@ def test_matrix_cell_passes(name, algorithm):
     assert record.envelope_ok, record.failure_message()
 
 
-def test_matrix_covers_four_algorithm_families():
+def test_matrix_covers_five_algorithm_families():
     families = {get_binding(a).family for _n, a in MATRIX}
-    assert {"apsp", "bfs", "matching", "cover"} <= families
+    assert {"apsp", "bfs", "matching", "cover", "decomposition"} <= families
 
 
 def test_run_scenario_runs_every_binding():
     records = run_scenario("dense-gnp")
     assert [r.algorithm for r in records] == [
-        "apsp-unweighted", "bfs-collection", "cover"]
+        "apsp-unweighted", "bfs-collection", "cover", "ldc"]
     assert all(r.scenario == "dense-gnp" for r in records)
 
 

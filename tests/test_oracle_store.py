@@ -1,0 +1,516 @@
+"""The oracle artifact family + cache chain (ISSUE 5).
+
+Mirror of ``tests/test_store.py`` for the second artifact family.
+Pins the tentpole contract:
+
+* **byte identity** -- differential cell records are byte-identical
+  with the oracle store enabled vs disabled, across algorithm families
+  (apsp, bfs, matching, decomposition); ``oracle_source`` is
+  provenance (a ``NONDETERMINISTIC_FIELD``) and never changes a
+  canonical record byte;
+* **codec exactness** -- ``decode(encode(v)) == v`` for every
+  registered oracle, down to Python value types;
+* **fall-through chain** -- LRU -> disk store -> compute-and-publish,
+  with env propagation to pool workers;
+* **revision rotation** -- the baseline's source hash is part of the
+  key, so editing an oracle function misses the cache instead of
+  serving a stale ground truth;
+* **concurrent-writer safety** and **corruption fallback** -- racing
+  publishers land one valid entry; truncated arrays, mangled
+  manifests, and values that decode to garbage are quarantined and
+  recomputed;
+* **family registry** -- identity schemas are validated, families
+  enumerate generically (including the decomposition stub);
+* **engine integration** -- manifests record the oracle cache/store
+  settings plus per-family store hit/miss counters, and warm parallel
+  sweeps serve every baseline from disk.
+"""
+
+import dataclasses
+import json
+import multiprocessing
+
+import numpy as np
+import pytest
+
+from repro.baselines import reference
+from repro.baselines.oracles import (
+    ORACLES,
+    OracleSpec,
+    oracle_revision,
+)
+from repro.runner import RunStore, graph_cache, oracle_cache, run_sweep
+from repro.scenarios import get_scenario
+from repro.scenarios.bindings import BINDINGS
+from repro.store import (
+    ArtifactStore,
+    DecompositionStore,
+    GraphStore,
+    OracleStore,
+    family_names,
+    get_family,
+    oracle_key,
+)
+from repro.store.artifacts import MANIFEST_NAME, TMP_PREFIX
+from repro.store.oracles import ORACLE_FAMILY, ORACLE_KIND, warm_oracles
+from repro.testing import run_differential
+
+# One cell per algorithm family with a sequential baseline: the byte-
+# identity matrix the acceptance criteria name.
+ORACLE_CELLS = (
+    ("dense-gnp", "apsp-unweighted"),
+    ("grid-weighted", "apsp-weighted"),
+    ("dense-gnp", "bfs-collection"),
+    ("bipartite-balanced", "matching"),
+    ("grid", "ldc"),
+)
+
+
+@pytest.fixture
+def ochain(tmp_path):
+    """A fresh oracle chain connected to a tmp store; reset afterwards."""
+    oracle_cache.configure(oracle_cache.DEFAULT_MAXSIZE)
+    oracle_cache.configure_store(tmp_path / "store")
+    yield OracleStore(tmp_path / "store")
+    oracle_cache.configure(oracle_cache.DEFAULT_MAXSIZE)
+    oracle_cache.configure_store(None)
+
+
+def _cell_coords(name, algorithm, size=None, seed=0):
+    scenario = get_scenario(name)
+    size = scenario.default_size if size is None else size
+    return scenario, size, scenario.seed_for(size, seed)
+
+
+def _publish_oracle(store, name, algorithm, size=None, seed=0):
+    scenario, size, derived = _cell_coords(name, algorithm, size, seed)
+    spec = BINDINGS[algorithm].oracle
+    graph = scenario.graph(size, seed=seed)
+    value = spec.compute(graph, derived)
+    assert store.publish(scenario.name, size, derived, spec, value)
+    return scenario, size, derived, spec, value
+
+
+# ---------------------------------------------------------------------------
+# Codec exactness and the family registry
+# ---------------------------------------------------------------------------
+
+@pytest.mark.scenario
+@pytest.mark.parametrize("name,algorithm", ORACLE_CELLS,
+                         ids=[f"{n}-{a}" for n, a in ORACLE_CELLS])
+def test_codec_round_trip_is_exact(name, algorithm, tmp_path):
+    store = OracleStore(tmp_path)
+    scenario, size, derived, spec, value = _publish_oracle(
+        store, name, algorithm)
+    loaded = store.load(scenario.name, size, derived, spec)
+    assert loaded == value
+    if isinstance(value, list):  # distance matrices: value types too
+        for fresh_row, loaded_row in zip(value, loaded):
+            assert [type(x) for x in fresh_row] == \
+                [type(x) for x in loaded_row]
+
+
+def test_every_registered_family_validates_its_identity():
+    assert family_names() == ["decompositions", "graphs", "oracles"]
+    family = get_family("oracles")
+    with pytest.raises(ValueError, match="missing.*revision"):
+        family.identity(scenario="x", size=8, derived_seed=1, oracle="o")
+    with pytest.raises(ValueError, match="unexpected.*bogus"):
+        family.identity(scenario="x", size=8, derived_seed=1, oracle="o",
+                        revision="r", bogus=3)
+    with pytest.raises(KeyError, match="unknown artifact family"):
+        get_family("no-such-family")
+
+
+def test_family_schema_version_is_part_of_the_key():
+    base = get_family("oracles")
+    bumped = dataclasses.replace(base, schema_version=base.schema_version + 1)
+    identity = base.identity(scenario="x", size=8, derived_seed=1,
+                             oracle="o", revision="r")
+    assert base.key(identity) != bumped.key(identity)
+
+
+# ---------------------------------------------------------------------------
+# Byte identity: store on/off must not change a canonical record byte
+# ---------------------------------------------------------------------------
+
+@pytest.mark.scenario
+@pytest.mark.parametrize("name,algorithm", ORACLE_CELLS,
+                         ids=[f"{n}-{a}" for n, a in ORACLE_CELLS])
+def test_differential_records_identical_from_oracle_store(name, algorithm,
+                                                          ochain):
+    oracle_cache.configure_store(None)
+    oracle_cache.configure(0)
+    computed = run_differential(name, algorithm, seed=3)
+    oracle_cache.configure_store(ochain.root)
+    oracle_cache.configure(0)         # LRU off: force the store path
+    publish_pass = run_differential(name, algorithm, seed=3)
+    store_pass = run_differential(name, algorithm, seed=3)
+    assert computed.oracle_source == "computed"
+    assert publish_pass.oracle_source == "computed"  # miss: + published
+    assert store_pass.oracle_source == "store"       # hit: loaded value
+    assert computed.canonical_dict() == publish_pass.canonical_dict() \
+        == store_pass.canonical_dict()
+    # Provenance is excluded from the canonical payload by
+    # NONDETERMINISTIC_FIELDS, like wall_time and graph_source.
+    full = store_pass.as_dict()
+    assert full["oracle_source"] == "store"
+    assert "oracle_source" not in store_pass.canonical_dict()
+
+
+def test_cover_has_no_oracle_and_records_none():
+    record = run_differential("dense-gnp", "cover")
+    assert record.oracle_source == "none"
+    assert BINDINGS["cover"].oracle is None
+
+
+def test_shared_oracle_serves_sibling_bindings_from_lru(ochain):
+    """apsp-unweighted and bfs-collection share one unweighted-apsp
+    artifact: the second cell of a scenario LRU-hits the first's."""
+    oracle_cache.configure(oracle_cache.DEFAULT_MAXSIZE)
+    first = run_differential("dense-gnp", "apsp-unweighted", seed=5)
+    second = run_differential("dense-gnp", "bfs-collection", seed=5)
+    assert first.oracle_source == "computed"
+    assert second.oracle_source == "lru"
+    assert len(ochain.ls()) == 1  # one artifact for both bindings
+
+
+# ---------------------------------------------------------------------------
+# The fall-through chain
+# ---------------------------------------------------------------------------
+
+def test_chain_falls_through_lru_store_compute(ochain):
+    scenario, size, derived = _cell_coords("dense-gnp", "apsp-unweighted",
+                                           size=14)
+    spec = BINDINGS["apsp-unweighted"].oracle
+    graph = scenario.graph(size)
+    v1, src1 = oracle_cache.oracle_value_source(
+        scenario.name, size, derived, spec, graph)
+    assert src1 == "computed"
+    v2, src2 = oracle_cache.oracle_value_source(
+        scenario.name, size, derived, spec, graph)
+    assert src2 == "lru" and v2 is v1
+    oracle_cache.configure(oracle_cache.DEFAULT_MAXSIZE)  # clears the LRU
+    oracle_cache.configure_store(ochain.root)
+    v3, src3 = oracle_cache.oracle_value_source(
+        scenario.name, size, derived, spec, graph)
+    assert src3 == "store"
+    assert v3 is not v1 and v3 == v1
+    stats = oracle_cache.stats()
+    assert stats["store_hits"] == 1 and stats["publishes"] == 0
+    assert ochain.contains(scenario.name, size, derived, spec)
+
+
+def test_store_config_propagates_through_environment(ochain, monkeypatch):
+    """Worker processes resolve the store from the exported env var."""
+    import os
+
+    assert os.environ[oracle_cache.STORE_DIR_ENV] == str(ochain.root)
+    monkeypatch.setattr(oracle_cache, "_store", None)
+    monkeypatch.setattr(oracle_cache, "_store_probed", False)
+    resolved = oracle_cache.effective_store()
+    assert resolved is not None and str(resolved.root) == str(ochain.root)
+    oracle_cache.configure_store(None)
+    assert oracle_cache.STORE_DIR_ENV not in os.environ
+    assert oracle_cache.effective_store() is None
+
+
+def test_cache_size_env_round_trip(monkeypatch):
+    import os
+
+    monkeypatch.setenv(oracle_cache.CACHE_SIZE_ENV, "9")
+    assert oracle_cache._env_maxsize() == 9
+    monkeypatch.setenv(oracle_cache.CACHE_SIZE_ENV, "not-a-number")
+    assert oracle_cache._env_maxsize() == oracle_cache.DEFAULT_MAXSIZE
+    oracle_cache.configure(5)
+    assert os.environ[oracle_cache.CACHE_SIZE_ENV] == "5"
+    assert oracle_cache.effective_maxsize() == 5
+    oracle_cache.configure(oracle_cache.DEFAULT_MAXSIZE)
+
+
+# ---------------------------------------------------------------------------
+# Revision rotation: editing the oracle function must miss the cache
+# ---------------------------------------------------------------------------
+
+def _edited_unweighted_apsp(g, seed):
+    """An 'edited' baseline: same value, different source text."""
+    matrix = reference.unweighted_apsp(g)
+    return [list(row) for row in matrix]
+
+
+def test_revision_hashes_the_source_text():
+    spec = ORACLES["unweighted-apsp"]
+    assert oracle_revision(spec) == oracle_revision(spec)  # stable
+    edited = dataclasses.replace(spec, compute=_edited_unweighted_apsp)
+    assert oracle_revision(edited) != oracle_revision(spec)
+    # A dependency edit rotates the revision too...
+    trimmed = dataclasses.replace(spec, depends=spec.depends[:-1])
+    assert oracle_revision(trimmed) != oracle_revision(spec)
+    # ... and so does a codec edit: a cached value inherits the
+    # encode/decode behavior as much as the compute function's.
+    recoded = dataclasses.replace(spec, decode=_edited_unweighted_apsp)
+    assert oracle_revision(recoded) != oracle_revision(spec)
+    # ... and the revision lands in the artifact key.
+    assert oracle_key("s", 8, 1, spec) != oracle_key("s", 8, 1, edited)
+
+
+def test_edited_oracle_misses_the_cache(ochain, monkeypatch):
+    """The integration contract: after 'editing' the baseline, a warm
+    store must NOT serve the old value -- the cell recomputes under the
+    rotated key and both revisions coexist until gc."""
+    oracle_cache.configure(0)
+    warm = run_differential("dense-gnp", "apsp-unweighted", seed=7)
+    hit = run_differential("dense-gnp", "apsp-unweighted", seed=7)
+    assert warm.oracle_source == "computed" and hit.oracle_source == "store"
+
+    binding = BINDINGS["apsp-unweighted"]
+    edited = dataclasses.replace(
+        binding, oracle=dataclasses.replace(
+            binding.oracle, compute=_edited_unweighted_apsp))
+    monkeypatch.setitem(BINDINGS, "apsp-unweighted", edited)
+    recomputed = run_differential("dense-gnp", "apsp-unweighted", seed=7)
+    assert recomputed.oracle_source == "computed"  # rotated key: a miss
+    assert recomputed.canonical_dict() == warm.canonical_dict()
+    revisions = {e.identity["revision"] for e in ochain.ls()}
+    assert len(revisions) == 2
+
+
+# ---------------------------------------------------------------------------
+# Concurrent-writer safety
+# ---------------------------------------------------------------------------
+
+def _race_publish(root):
+    store = OracleStore(root)
+    scenario = get_scenario("dense-gnp")
+    size = 16
+    derived = scenario.seed_for(size, 0)
+    spec = ORACLES["unweighted-apsp"]
+    value = spec.compute(scenario.graph(size), derived)
+    return store.publish(scenario.name, size, derived, spec, value)
+
+
+def test_concurrent_publishers_land_one_valid_entry(tmp_path):
+    """Racing pool workers: exactly one entry, every loser unharmed."""
+    root = str(tmp_path / "store")
+    with multiprocessing.Pool(2) as pool:
+        outcomes = pool.map(_race_publish, [root] * 4)
+    assert any(outcomes)
+    store = OracleStore(root)
+    assert len(store.ls()) == 1
+    scenario = get_scenario("dense-gnp")
+    derived = scenario.seed_for(16, 0)
+    spec = ORACLES["unweighted-apsp"]
+    loaded = store.load("dense-gnp", 16, derived, spec)
+    assert loaded == spec.compute(scenario.graph(16), derived)
+    leftovers = [p for p in (tmp_path / "store").rglob("*")
+                 if p.name.startswith(TMP_PREFIX)]
+    assert leftovers == []
+
+
+def test_lost_race_in_process_returns_false(tmp_path):
+    store = OracleStore(tmp_path)
+    scenario, size, derived, spec, value = _publish_oracle(
+        store, "bipartite-balanced", "matching")
+    assert store.publish(scenario.name, size, derived, spec, value) is False
+    assert len(store.ls()) == 1
+
+
+# ---------------------------------------------------------------------------
+# Corruption: quarantine + recompute, never a crash
+# ---------------------------------------------------------------------------
+
+def _entry_path(store, scenario, size, derived, spec):
+    return store.artifacts.entry_path(
+        ORACLE_KIND, oracle_key(scenario.name, size, derived, spec))
+
+
+def test_truncated_array_falls_back_to_recompute(ochain):
+    scenario, size, derived, spec, _value = _publish_oracle(
+        ochain, "dense-gnp", "apsp-unweighted", size=18)
+    dist = _entry_path(ochain, scenario, size, derived, spec) / "dist.npy"
+    dist.write_bytes(dist.read_bytes()[: dist.stat().st_size // 2])
+    assert ochain.load(scenario.name, size, derived, spec) is None
+    # The corrupt entry is quarantined...
+    assert not ochain.contains(scenario.name, size, derived, spec)
+    # ... and the chain recomputes + republishes as if it never existed.
+    oracle_cache.configure(0)
+    record = run_differential("dense-gnp", "apsp-unweighted", size=18)
+    assert record.oracle_source == "computed" and record.passed
+    assert ochain.contains(scenario.name, size, derived, spec)
+
+
+def test_mangled_manifest_falls_back_to_recompute(ochain):
+    scenario, size, derived, spec, _value = _publish_oracle(
+        ochain, "grid-weighted", "apsp-weighted")
+    manifest = _entry_path(ochain, scenario, size, derived,
+                           spec) / MANIFEST_NAME
+    manifest.write_text("{ not json")
+    assert ochain.load(scenario.name, size, derived, spec) is None
+    assert not ochain.contains(scenario.name, size, derived, spec)
+
+
+def test_undecodable_value_is_quarantined(tmp_path):
+    """An entry that passes the byte layer but decodes to garbage for
+    its oracle is corruption too: dropped, then recomputed."""
+    store = OracleStore(tmp_path)
+    spec = ORACLES["matching-size"]
+    identity = {"scenario": "s", "size": 8, "derived_seed": 1,
+                "oracle": spec.name, "revision": oracle_revision(spec)}
+    assert store.artifacts.publish(
+        ORACLE_FAMILY, identity,
+        {"value": np.asarray([3, 4], dtype=np.int64)})  # wrong shape
+    assert store.load("s", 8, 1, spec) is None
+    assert not store.contains("s", 8, 1, spec)
+
+
+def test_wrong_family_schema_version_is_a_miss(tmp_path):
+    store = OracleStore(tmp_path)
+    scenario, size, derived, spec, _value = _publish_oracle(
+        store, "bipartite-balanced", "matching")
+    manifest_path = _entry_path(store, scenario, size, derived,
+                                spec) / MANIFEST_NAME
+    manifest = json.loads(manifest_path.read_text())
+    manifest["family_schema"] = 999
+    manifest_path.write_text(json.dumps(manifest))
+    assert store.load(scenario.name, size, derived, spec) is None
+
+
+# ---------------------------------------------------------------------------
+# Maintenance: warm_oracles + family-scoped gc
+# ---------------------------------------------------------------------------
+
+def test_warm_oracles_then_family_scoped_gc(tmp_path):
+    store = OracleStore(tmp_path)
+    scenarios = [get_scenario(n) for n in ("path", "cycle", "dense-gnp")]
+    counts = warm_oracles(store, scenarios)
+    # path/cycle: one shared unweighted-apsp each; dense-gnp adds the
+    # ldc-reference on top of its unweighted-apsp.
+    assert counts == {"published": 4, "skipped": 0}
+    assert warm_oracles(store, [get_scenario("path")]) == {
+        "published": 0, "skipped": 1}
+    assert len(store.ls()) == 4
+    assert store.stat()["families"] == {
+        "oracles": {"entries": 4,
+                    "bytes": sum(e.nbytes for e in store.ls())}}
+
+    # A graph snapshot in the same root survives oracle-scoped gc.
+    graphs = GraphStore(tmp_path)
+    scenario = get_scenario("path")
+    graphs.publish("path", scenario.default_size,
+                   scenario.seed_for(scenario.default_size, 0),
+                   scenario.graph())
+    removed = store.gc(keep_last=1)
+    assert len(removed) == 3
+    assert len(store.ls()) == 1 and len(graphs.ls()) == 1
+
+
+def test_warm_skips_scenarios_without_oracles(tmp_path):
+    # Every binding of this synthetic selection is oracle-less only if
+    # none exist; all registered scenarios bind at least one oracle
+    # through apsp/bfs/matching, so warm the smallest and check counts
+    # stay consistent on re-run.
+    store = OracleStore(tmp_path)
+    counts = warm_oracles(store, [get_scenario("cycle")])
+    assert counts["published"] == len(store.ls()) == 1
+
+
+# ---------------------------------------------------------------------------
+# The decomposition stub family
+# ---------------------------------------------------------------------------
+
+def test_decomposition_stub_round_trip(tmp_path):
+    from repro.decomposition.ldc import build_ldc
+
+    scenario = get_scenario("grid")
+    derived = scenario.seed_for(16, 0)
+    graph = scenario.graph(16)
+    ldc = build_ldc(graph, seed=derived)
+    store = DecompositionStore(tmp_path)
+    assert store.publish("grid", 16, derived, "ldc", ldc)
+    assert store.contains("grid", 16, derived, "ldc")
+    snapshot = store.load("grid", 16, derived, "ldc")
+    assert snapshot["center_of"] == ldc.center_of
+    assert snapshot["dist"] == ldc.clustering.dist
+    assert snapshot["parent"] == ldc.parent
+    assert snapshot["f_edges"] == sorted(ldc.f_edges())
+    # The family shows up in the generic inventory alongside the rest.
+    stats = ArtifactStore(tmp_path).stat()
+    assert set(stats["families"]) == {"decompositions"}
+
+
+# ---------------------------------------------------------------------------
+# Engine + CLI integration
+# ---------------------------------------------------------------------------
+
+def test_sweep_manifest_records_oracle_settings_and_counters(tmp_path):
+    runs = RunStore(tmp_path / "runs")
+    store_dir = str(tmp_path / "store")
+    try:
+        first = run_sweep(["path", "cycle"], store=runs,
+                          graph_store_dir=store_dir, graph_cache_size=0,
+                          oracle_store_dir=store_dir, oracle_cache_size=0)
+        assert first.run.manifest["oracle_cache_size"] == 0
+        assert first.run.manifest["oracle_store"] == store_dir
+        # LRUs off: path's first cell computes + publishes the shared
+        # unweighted-apsp, its second cell store-hits; cycle computes.
+        sources = first.summary()["oracle_sources"]
+        assert sources == {"computed": 2, "store": 1}
+        counters = first.run.manifest["store_counters"]
+        assert counters["graphs"] == {"built": 2, "store": 1}
+        assert counters["oracles"] == {"computed": 2, "store": 1}
+        # The counters survive a manifest reload from disk.
+        assert runs.open_run(first.run_id).manifest["store_counters"] \
+            == counters
+
+        second = run_sweep(["path", "cycle"], store=runs, fresh=True,
+                           graph_store_dir=store_dir, graph_cache_size=0,
+                           oracle_store_dir=store_dir, oracle_cache_size=0)
+        assert second.summary()["oracle_sources"] == {"store": 3}
+        assert second.run.manifest["store_counters"]["oracles"] == {
+            "store": 3}
+        assert [r.canonical_record() for r in first.results] == \
+            [r.canonical_record() for r in second.results]
+    finally:
+        graph_cache.configure(graph_cache.DEFAULT_MAXSIZE)
+        graph_cache.configure_store(None)
+        oracle_cache.configure(oracle_cache.DEFAULT_MAXSIZE)
+        oracle_cache.configure_store(None)
+
+
+def test_parallel_sweep_workers_share_the_oracle_store(tmp_path):
+    """Pool workers publish into and read from one shared store."""
+    store_dir = str(tmp_path / "store")
+    try:
+        cold = run_sweep(["dense-gnp", "power-law"], workers=2,
+                         graph_store_dir=store_dir, graph_cache_size=0,
+                         oracle_store_dir=store_dir, oracle_cache_size=0)
+        assert cold.ok
+        store = OracleStore(store_dir)
+        # dense-gnp: unweighted-apsp + ldc-reference; power-law:
+        # unweighted-apsp.  (cover binds no oracle.)
+        assert len(store.ls()) == 3
+        warm_run = run_sweep(["dense-gnp", "power-law"], workers=2,
+                             graph_store_dir=store_dir, graph_cache_size=0,
+                             oracle_store_dir=store_dir,
+                             oracle_cache_size=0)
+        assert warm_run.ok
+        assert set(warm_run.summary()["oracle_sources"]) == {"store"}
+        assert [r.canonical_record() for r in cold.results] == \
+            [r.canonical_record() for r in warm_run.results]
+    finally:
+        graph_cache.configure(graph_cache.DEFAULT_MAXSIZE)
+        graph_cache.configure_store(None)
+        oracle_cache.configure(oracle_cache.DEFAULT_MAXSIZE)
+        oracle_cache.configure_store(None)
+
+
+def test_bench_cli_oracle_store_smoke(tmp_path, capsys):
+    from repro.cli import main
+
+    assert main(["bench", "oracle-store", "--smoke", "--json",
+                 "--out", str(tmp_path)]) == 0
+    (report,) = json.loads(capsys.readouterr().out)
+    assert report["benchmark"] == "oracle-store"
+    assert report["metadata"]["extra"]["smoke"] is True
+    assert (tmp_path / "BENCH_oracle_store.json").is_file()
+    assert "sweep_baselines_warm_vs_cold" in report["speedup"]

@@ -457,21 +457,48 @@ def test_restored_cells_do_not_pollute_graph_source_summary(tmp_path):
 
 
 def test_cli_store_family(tmp_path, capsys):
-    store_dir = str(tmp_path / "graph-store")
+    """warm/ls/stat/gc over both families, with --family scoping."""
+    store_dir = str(tmp_path / "store")
+    # warm defaults to graphs + oracles: path and cycle each publish one
+    # graph snapshot and one unweighted-apsp baseline.
     assert main(["store", "warm", "--names", "path", "cycle",
                  "--store-dir", store_dir]) == 0
-    assert "2 published" in capsys.readouterr().out
+    assert "4 published" in capsys.readouterr().out
     assert main(["store", "ls", "--store-dir", store_dir]) == 0
     out = capsys.readouterr().out
-    assert "path" in out and "cycle" in out and "2 snapshot(s)" in out
+    assert "path" in out and "cycle" in out and "4 artifact(s)" in out
+    assert "graphs" in out and "oracles" in out
+    # --family filters the listing to one family.
+    assert main(["store", "ls", "--store-dir", store_dir,
+                 "--family", "graphs", "--json"]) == 0
+    graphs = json.loads(capsys.readouterr().out)
+    assert len(graphs) == 2
+    assert all(entry["family"] == "graphs" for entry in graphs)
     assert main(["store", "stat", "--store-dir", store_dir, "--json"]) == 0
     stats = json.loads(capsys.readouterr().out)
-    assert stats["entries"] == 2 and stats["bytes"] > 0
+    assert stats["entries"] == 4 and stats["bytes"] > 0
+    assert set(stats["families"]) == {"graphs", "oracles"}
+    assert all(bucket == {"entries": 2, "bytes": bucket["bytes"]}
+               for bucket in stats["families"].values())
+    # Family-scoped gc prunes oracles only; the graph snapshots survive.
     assert main(["store", "gc", "--keep-last", "1",
+                 "--family", "oracles", "--store-dir", store_dir]) == 0
+    assert "1 artifact(s) removed" in capsys.readouterr().out
+    assert main(["store", "stat", "--store-dir", store_dir, "--json"]) == 0
+    stats = json.loads(capsys.readouterr().out)
+    assert stats["families"]["graphs"]["entries"] == 2
+    assert stats["families"]["oracles"]["entries"] == 1
+    assert main(["store", "gc", "--keep-last", "0",
                  "--store-dir", store_dir]) == 0
-    assert "1 snapshot(s) removed" in capsys.readouterr().out
+    assert "3 artifact(s) removed" in capsys.readouterr().out
     assert main(["store", "ls", "--store-dir", store_dir, "--json"]) == 0
-    assert len(json.loads(capsys.readouterr().out)) == 1
+    assert json.loads(capsys.readouterr().out) == []
+
+
+def test_cli_store_rejects_unknown_family(tmp_path, capsys):
+    assert main(["store", "ls", "--family", "no-such-family",
+                 "--store-dir", str(tmp_path / "gs")]) == 2
+    assert "unknown artifact family" in capsys.readouterr().err
 
 
 def test_cli_store_gc_requires_a_budget(tmp_path, capsys):
@@ -493,22 +520,42 @@ def test_cli_store_warm_unknown_scenario_is_clean_error(tmp_path, capsys):
 
 
 def test_cli_sweep_store_flags(tmp_path, capsys):
+    from repro.runner import oracle_cache
+
     runs_dir = str(tmp_path / "runs")
     base = ["sweep", "--runs-dir", runs_dir, "--names", "path",
-            "--graph-cache-size", "0"]
-    assert main(base) == 0
-    out = capsys.readouterr().out
-    # LRU off: path's first cell builds + publishes, the second cell of
-    # the same key is already served from the store.
-    assert "graph sources: 1 built, 1 store" in out
-    # Default --store-dir co-locates the snapshots with the run store.
-    assert (tmp_path / "runs" / "graph-store").is_dir()
-    assert main(base + ["--fresh"]) == 0
-    assert "graph sources: 2 store" in capsys.readouterr().out
-    # --no-store disconnects the chain entirely.
-    assert main(base + ["--no-store", "--fresh"]) == 0
-    out = capsys.readouterr().out
-    assert "graph sources: 2 built" in out and "graph store off" in out
+            "--graph-cache-size", "0", "--oracle-cache-size", "0"]
+    try:
+        assert main(base) == 0
+        out = capsys.readouterr().out
+        # LRUs off: path's first cell builds + publishes, the second
+        # cell of the same key is already served from the store -- for
+        # the graph and the shared unweighted-apsp baseline alike.
+        assert "graph sources: 1 built, 1 store" in out
+        assert "oracle sources: 1 computed, 1 store" in out
+        # Default --store-dir co-locates the artifacts with the runs.
+        assert (tmp_path / "runs" / "store").is_dir()
+        assert main(base + ["--fresh"]) == 0
+        out = capsys.readouterr().out
+        assert "graph sources: 2 store" in out
+        assert "oracle sources: 2 store" in out
+        # --no-oracle-store recomputes baselines, keeps graph snapshots.
+        assert main(base + ["--no-oracle-store", "--fresh"]) == 0
+        out = capsys.readouterr().out
+        assert "graph sources: 2 store" in out
+        assert ("oracle sources: 2 computed" in out
+                and "oracle store off" in out)
+        # --no-store disconnects both chains entirely.
+        assert main(base + ["--no-store", "--fresh"]) == 0
+        out = capsys.readouterr().out
+        assert "graph sources: 2 built" in out and "graph store off" in out
+        assert ("oracle sources: 2 computed" in out
+                and "oracle store off" in out)
+    finally:
+        graph_cache.configure(graph_cache.DEFAULT_MAXSIZE)
+        graph_cache.configure_store(None)
+        oracle_cache.configure(oracle_cache.DEFAULT_MAXSIZE)
+        oracle_cache.configure_store(None)
 
 
 def test_bench_cli_smoke_flag(tmp_path, capsys):
