@@ -39,7 +39,22 @@ matching-size       maximum bipartite matching cardinality
 ldc-reference       the exhaustively-verified (r, d) realization of the
                     seed-deterministic LDC decomposition (the expensive
                     per-cluster strong-diameter check)
+mpx-cover           verified stats of the padded neighborhood cover
+                    derived from the LDC snapshot (clusters, overlap,
+                    realized radius)
+ldc-spanner         verified stats of the cluster spanner derived from
+                    the LDC snapshot (size, exact max stretch -- one
+                    BFS per node over the spanner)
+bs-hierarchy        verified stats of the Baswana-Sen hierarchy seeded
+                    at level 0 by the LDC snapshot (levels, radius,
+                    F/cluster edge counts)
 ==================  =====================================================
+
+The last three are the **staged pipeline** oracles: each recomputes the
+full chain (``build_ldc`` -> snapshot -> derive/build -> exhaustive
+verify) sequentially, independent of the sweep-side decomposition
+cache, so a cached oracle stays valid ground truth whether the cell it
+checks consumed a stored snapshot or recomputed one.
 """
 
 from __future__ import annotations
@@ -174,6 +189,42 @@ def _decode_ldc(arrays: Dict[str, np.ndarray]) -> Dict[str, int]:
     return out
 
 
+def _stats_codec(fields: Tuple[str, ...], label: str):
+    """An int-stats codec over ``fields`` (first field a validity bit).
+
+    The pipeline-stage oracles all produce small all-int stat dicts of
+    the ``ldc-reference`` shape; this factory builds their
+    encode/decode pairs.  (The closures share one source text, which is
+    fine for revision hashing: ``compute`` and ``depends`` -- where the
+    behavior actually lives -- still differ per spec.)
+    """
+    def encode(value: Dict[str, int]) -> Dict[str, np.ndarray]:
+        return {"stats": np.asarray(
+            [int(value[name]) for name in fields], dtype=np.int64)}
+
+    def decode(arrays: Dict[str, np.ndarray]) -> Dict[str, int]:
+        stats = arrays["stats"]
+        if stats.shape != (len(fields),):
+            raise ValueError(
+                f"{label} oracle stats must have shape ({len(fields)},)")
+        out = dict(zip(fields, (int(x) for x in stats.tolist())))
+        out["valid"] = bool(out["valid"])
+        return out
+
+    return encode, decode
+
+
+_COVER_FIELDS = ("valid", "clusters", "max_overlap", "radius")
+_SPANNER_FIELDS = ("valid", "size", "stretch")
+_HIERARCHY_FIELDS = ("valid", "levels", "max_radius", "f_edges",
+                     "cluster_edges", "max_f_degree")
+
+_encode_cover, _decode_cover = _stats_codec(_COVER_FIELDS, "cover")
+_encode_spanner, _decode_spanner = _stats_codec(_SPANNER_FIELDS, "spanner")
+_encode_hierarchy, _decode_hierarchy = _stats_codec(_HIERARCHY_FIELDS,
+                                                    "hierarchy")
+
+
 # ---------------------------------------------------------------------------
 # Oracle functions
 # ---------------------------------------------------------------------------
@@ -215,12 +266,93 @@ def ldc_reference_oracle(g: "Graph", seed: int) -> Dict[str, int]:
             "clusters": int(stats["clusters"])}
 
 
+def mpx_cover_reference_oracle(g: "Graph", seed: int) -> Dict[str, int]:
+    """Verified stats of the LDC-derived padded neighborhood cover.
+
+    Recomputes the full stage chain sequentially (see the module
+    docstring); a cover violating the padding/connectivity properties
+    is reported as ``valid=False`` rather than raised.
+    """
+    from repro.decomposition.ldc import build_ldc
+    from repro.decomposition.pipeline import (
+        derive_mpx_cover,
+        ldc_snapshot,
+        verify_mpx_cover,
+    )
+
+    snapshot = ldc_snapshot(build_ldc(g, seed=seed))
+    cover = derive_mpx_cover(snapshot)
+    try:
+        stats = verify_mpx_cover(g, cover, snapshot)
+    except AssertionError:
+        return {"valid": False, "clusters": -1, "max_overlap": -1,
+                "radius": -1}
+    return {"valid": True, "clusters": int(stats["clusters"]),
+            "max_overlap": int(stats["max_overlap"]),
+            "radius": int(stats["radius"])}
+
+
+def ldc_spanner_reference_oracle(g: "Graph", seed: int) -> Dict[str, int]:
+    """Verified (size, exact max stretch) of the LDC cluster spanner."""
+    from repro.decomposition.ldc import build_ldc
+    from repro.decomposition.pipeline import (
+        derive_ldc_spanner,
+        ldc_snapshot,
+        verify_ldc_spanner,
+    )
+
+    snapshot = ldc_snapshot(build_ldc(g, seed=seed))
+    edges = derive_ldc_spanner(snapshot)
+    try:
+        stats = verify_ldc_spanner(g, edges)
+    except AssertionError:
+        return {"valid": False, "size": -1, "stretch": -1}
+    return {"valid": True, "size": int(stats["size"]),
+            "stretch": int(stats["stretch"])}
+
+
+def bs_hierarchy_reference_oracle(g: "Graph", seed: int) -> Dict[str, int]:
+    """Verified stats of the LDC-seeded Baswana-Sen hierarchy."""
+    from repro.decomposition.baswana_sen import (
+        build_baswana_sen,
+        verify_hierarchy,
+    )
+    from repro.decomposition.ldc import build_ldc
+    from repro.decomposition.pipeline import BS_EPS, ldc_snapshot
+
+    snapshot = ldc_snapshot(build_ldc(g, seed=seed))
+    hierarchy = build_baswana_sen(g, BS_EPS, seed=seed, base=snapshot)
+    try:
+        stats = verify_hierarchy(g, hierarchy)
+    except AssertionError:
+        return {"valid": False, "levels": -1, "max_radius": -1,
+                "f_edges": -1, "cluster_edges": -1, "max_f_degree": -1}
+    return {"valid": True,
+            **{name: int(stats[name]) for name in _HIERARCHY_FIELDS[1:]}}
+
+
 def _ldc_depends() -> Tuple[Any, ...]:
     """The LDC baseline inherits the whole decomposition pipeline."""
     from repro.decomposition import ldc as ldc_mod
     from repro.decomposition import mpx as mpx_mod
 
     return (ldc_mod, mpx_mod)
+
+
+def _pipeline_depends() -> Tuple[Any, ...]:
+    """What the cover/spanner stage oracles inherit: LDC + derivations."""
+    from repro.decomposition import ldc as ldc_mod
+    from repro.decomposition import mpx as mpx_mod
+    from repro.decomposition import pipeline as pipeline_mod
+
+    return (pipeline_mod, ldc_mod, mpx_mod)
+
+
+def _hierarchy_depends() -> Tuple[Any, ...]:
+    """The hierarchy oracle additionally inherits Baswana-Sen."""
+    from repro.decomposition import baswana_sen as baswana_sen_mod
+
+    return _pipeline_depends() + (baswana_sen_mod,)
 
 
 ORACLES: Dict[str, OracleSpec] = {spec.name: spec for spec in (
@@ -252,6 +384,27 @@ ORACLES: Dict[str, OracleSpec] = {spec.name: spec for spec in (
         depends=_ldc_depends(),
         description="verified (r, d, clusters) realization of the "
                     "seed-deterministic LDC decomposition"),
+    OracleSpec(
+        name="mpx-cover",
+        compute=mpx_cover_reference_oracle,
+        encode=_encode_cover, decode=_decode_cover,
+        depends=_pipeline_depends(),
+        description="verified (clusters, overlap, radius) of the "
+                    "LDC-derived padded neighborhood cover"),
+    OracleSpec(
+        name="ldc-spanner",
+        compute=ldc_spanner_reference_oracle,
+        encode=_encode_spanner, decode=_decode_spanner,
+        depends=_pipeline_depends(),
+        description="verified (size, exact stretch) of the LDC cluster "
+                    "spanner"),
+    OracleSpec(
+        name="bs-hierarchy",
+        compute=bs_hierarchy_reference_oracle,
+        encode=_encode_hierarchy, decode=_decode_hierarchy,
+        depends=_hierarchy_depends(),
+        description="verified level/radius/edge stats of the LDC-seeded "
+                    "Baswana-Sen hierarchy"),
 )}
 
 

@@ -35,6 +35,13 @@ Registered today:
   LDC reference realization) vs. loading the published value, plus a
   sweep's whole per-cell baseline bill under a cold vs. a warm store.
   Supports ``--smoke``.  Writes ``BENCH_oracle_store.json``.
+* ``decomposition-pipeline`` -- the staged pipeline's input artifact:
+  running the metered MPX/LDC construction vs. loading the published
+  snapshot vs. an LRU hit, plus a sweep's whole pipeline-input bill
+  (every decomposition-consuming cell, LRU off) under a cold vs. a
+  warm store.  The ``load_vs_compute`` ratios are the CI gate for the
+  store actually beating recomputation.  Supports ``--smoke``.  Writes
+  ``BENCH_decomposition_pipeline.json``.
 """
 
 from __future__ import annotations
@@ -596,6 +603,156 @@ def bench_oracle_store(smoke: bool = False) -> BenchReport:
         name="oracle-store",
         scenario=" + ".join(f"{name}(size={size})" for name, size in cases)
                  + " baselines; cold vs warm sweep baseline bill",
+        timings=timings, speedups=speedups, extra=extra)
+
+
+# ---------------------------------------------------------------------------
+# decomposition-pipeline: the staged pipeline's input artifact
+# ---------------------------------------------------------------------------
+
+# Scenarios carrying decomposition-consuming bindings (the staged
+# cover / spanner / hierarchy cells).  Sizes where the metered MPX/LDC
+# construction dominates the fixed per-load costs (manifest parse,
+# mmap, dict reassembly); the smoke sizes are the smallest where that
+# still holds (at the scenarios' tier-1 defaults a store load costs
+# about as much as rebuilding, which would make the gate meaningless).
+_PIPELINE_CASES = (("dense-gnp", 64), ("grid", 100), ("sparse-gnp", 128))
+_PIPELINE_CASES_SMOKE = (("dense-gnp", 28), ("grid", 36),
+                         ("sparse-gnp", 40))
+
+
+@contextlib.contextmanager
+def _decomposition_cache_state():
+    """Snapshot + restore the decomposition cache configuration."""
+    from repro.runner import decomposition_cache
+
+    store = decomposition_cache.effective_store()
+    maxsize = decomposition_cache.effective_maxsize()
+    try:
+        yield
+    finally:
+        decomposition_cache.configure(maxsize)
+        decomposition_cache.configure_store(
+            None if store is None else store.root)
+
+
+@register_benchmark("decomposition-pipeline")
+def bench_decomposition_pipeline(smoke: bool = False) -> BenchReport:
+    import shutil
+    import tempfile
+
+    from repro.runner import decomposition_cache
+    from repro.scenarios import get_binding, get_scenario
+    from repro.store import DecompositionStore
+
+    cases = _PIPELINE_CASES_SMOKE if smoke else _PIPELINE_CASES
+    reps = 1 if smoke else 3
+    timings: Dict[str, float] = {}
+    speedups: Dict[str, float] = {}
+    extra: Dict[str, Any] = {"smoke": smoke}
+
+    with _decomposition_cache_state(), tempfile.TemporaryDirectory() as tmp:
+        root = pathlib.Path(tmp)
+        store = DecompositionStore(root / "warm")
+
+        # Build each case's graph once, outside every timed region
+        # (construction belongs to the graph-store benchmark); collect
+        # the decomposition-consuming cells per scenario.
+        prepared = []
+        for name, size in cases:
+            scenario = get_scenario(name)
+            derived = scenario.seed_for(size, 0)
+            graph = scenario.graph(size)
+            consumers = [algorithm for algorithm in scenario.algorithms
+                         if get_binding(algorithm).decomposition
+                         is not None]
+            algorithms = []
+            for algorithm in consumers:
+                producer = get_binding(algorithm).decomposition
+                if producer not in algorithms:
+                    algorithms.append(producer)
+            prepared.append((scenario, size, derived, graph, algorithms,
+                             consumers))
+            extra[name] = {"n": graph.n, "m": graph.m, "size": size,
+                           "consumer_cells": consumers}
+
+        # -- per-snapshot: metered build vs store load vs LRU hit ------
+        for scenario, size, derived, graph, algorithms, _cells in prepared:
+            for algorithm in algorithms:
+                snapshot = decomposition_cache.compute_snapshot(
+                    algorithm, graph, derived)
+                # Explicit checks, not asserts: load-bearing (the warm
+                # store feeds every later measurement) and must survive
+                # `python -O`.
+                if not store.publish(scenario.name, size, derived,
+                                     algorithm, snapshot):
+                    raise RuntimeError(f"{algorithm}: publish failed")
+                if store.load(scenario.name, size, derived,
+                              algorithm) != snapshot:
+                    raise RuntimeError(
+                        f"{algorithm}: cached snapshot diverged")
+
+                build = best_of(
+                    lambda: decomposition_cache.compute_snapshot(
+                        algorithm, graph, derived), reps)
+                load = best_of(
+                    lambda: store.load(scenario.name, size, derived,
+                                       algorithm), reps)
+                decomposition_cache.configure(
+                    decomposition_cache.DEFAULT_MAXSIZE)
+                decomposition_cache.configure_store(None)
+                decomposition_cache.decomposition_value_source(
+                    scenario.name, size, derived, algorithm,
+                    graph)  # warm the LRU
+                lru_hit = best_of(
+                    lambda: decomposition_cache.decomposition_value_source(
+                        scenario.name, size, derived, algorithm, graph),
+                    reps)
+                label = f"snapshot.{scenario.name}.{algorithm}"
+                timings[f"{label}.cold_build"] = build
+                timings[f"{label}.store_load"] = load
+                timings[f"{label}.lru_hit"] = lru_hit
+                speedups[f"load_vs_compute.{scenario.name}"] = build / load
+
+        # -- per-cell pipeline inputs: cold store vs warm store --------
+        # Models a fresh sweep invocation's pipeline-input bill: every
+        # decomposition-consuming cell resolves its snapshot through
+        # the chain, LRU off so the disk path is what is measured.
+        # Cold: every resolution runs MPX and publishes.  Warm: every
+        # resolution loads the published snapshot.
+        def pipeline_pass(store_dir):
+            decomposition_cache.configure(0)
+            decomposition_cache.configure_store(store_dir)
+            start = time.perf_counter()
+            for scenario, size, derived, graph, _algs, cells in prepared:
+                for algorithm in cells:
+                    decomposition_cache.decomposition_value_source(
+                        scenario.name, size, derived,
+                        get_binding(algorithm).decomposition, graph)
+            return time.perf_counter() - start
+
+        cold_times, warm_times = [], []
+        for rep in range(reps):
+            cold_root = root / f"cold-{rep}"
+            cold_times.append(pipeline_pass(cold_root))
+            shutil.rmtree(cold_root)
+            warm_times.append(pipeline_pass(store.root))
+        cold_sweep, warm_sweep = min(cold_times), min(warm_times)
+        timings["pipeline_inputs.cold_store"] = cold_sweep
+        timings["pipeline_inputs.warm_store"] = warm_sweep
+        speedups["pipeline_inputs_warm_vs_cold"] = cold_sweep / warm_sweep
+        extra["pipeline_inputs"] = {
+            "cells": sum(len(cells)
+                         for *_rest, cells in prepared),
+            "cases": [f"{name}@{size}" for name, size in cases],
+        }
+        extra["store"] = store.stat()
+        extra["store"].pop("root", None)  # tempdir path: not reproducible
+
+    return BenchReport(
+        name="decomposition-pipeline",
+        scenario=" + ".join(f"{name}(size={size})" for name, size in cases)
+                 + " snapshots; cold vs warm pipeline-input bill",
         timings=timings, speedups=speedups, extra=extra)
 
 

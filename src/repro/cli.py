@@ -16,12 +16,15 @@ Examples
     python -m repro.cli sweep --workers 4 --retries 2     # re-queue failed cells
     python -m repro.cli sweep --no-store                  # skip the artifact store
     python -m repro.cli sweep --no-oracle-store           # recompute baselines
+    python -m repro.cli sweep --no-decomposition-store    # recompute snapshots
     python -m repro.cli sweep --list-runs
     python -m repro.cli sweep --compare <run-id> --against <run-id>
     python -m repro.cli store ls --family oracles         # cached baselines
     python -m repro.cli store warm --names dense-gnp      # graphs + baselines
+    python -m repro.cli store warm --family decompositions  # pipeline inputs
     python -m repro.cli store gc --keep-last 50 --family graphs
     python -m repro.cli bench oracle-store                # BENCH_oracle_store.json
+    python -m repro.cli bench decomposition-pipeline --smoke
 
 Each command prints the exact result summary plus the measured message
 and round costs; everything runs on the literal CONGEST simulator.
@@ -205,6 +208,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.runner import (
         RunStore,
         compare_runs,
+        decomposition_cache,
         graph_cache,
         oracle_cache,
         run_sweep,
@@ -260,13 +264,19 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         else:
             graph_store_dir = None
             graph_cache.configure_store(None)
-        # The oracle family shares the store root; --no-oracle-store
-        # (or --no-store) disconnects just-the-baselines / everything.
+        # The oracle and decomposition families share the store root;
+        # --no-oracle-store / --no-decomposition-store (or --no-store)
+        # disconnect one family / everything.
         if args.store and args.oracle_store:
             oracle_store_dir = graph_store_dir
         else:
             oracle_store_dir = None
             oracle_cache.configure_store(None)
+        if args.store and args.decomposition_store:
+            decomposition_store_dir = graph_store_dir
+        else:
+            decomposition_store_dir = None
+            decomposition_cache.configure_store(None)
         outcome = run_sweep(args.names, sizes=args.sizes, seeds=args.seeds,
                             workers=args.workers, timeout=args.timeout,
                             retries=args.retries, store=store,
@@ -274,7 +284,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                             graph_store_dir=graph_store_dir,
                             graph_cache_size=args.graph_cache_size,
                             oracle_store_dir=oracle_store_dir,
-                            oracle_cache_size=args.oracle_cache_size)
+                            oracle_cache_size=args.oracle_cache_size,
+                            decomposition_store_dir=decomposition_store_dir,
+                            decomposition_cache_size=(
+                                args.decomposition_cache_size))
     except (KeyError, ValueError) as exc:
         message = exc.args[0] if exc.args else str(exc)
         print(f"error: {message}", file=sys.stderr)
@@ -320,6 +333,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                     summary["oracle_sources"].items()))
             print(f"oracle sources: {sources}"
                   + ("" if oracle_store_dir else " (oracle store off)"))
+        if summary["decomposition_sources"]:
+            sources = ", ".join(
+                f"{count} {source}"
+                for source, count in sorted(
+                    summary["decomposition_sources"].items()))
+            print(f"decomposition sources: {sources}"
+                  + ("" if decomposition_store_dir
+                     else " (decomposition store off)"))
         stats = summarize(records)
         for failure in stats["failures"]:
             print(f"  FAIL {failure}")
@@ -443,16 +464,24 @@ def _cmd_store(args: argparse.Namespace) -> int:
             print(f"{len(removed)} artifact(s) removed, {freed} bytes freed")
         return 0
 
-    # warm: pre-build + publish graphs and/or baselines.
+    # warm: pre-build + publish graphs, baselines, and/or decompositions.
     from repro.scenarios import all_scenarios, get_scenario
-    from repro.store import GraphStore, OracleStore, warm, warm_oracles
+    from repro.store import (
+        DecompositionStore,
+        GraphStore,
+        OracleStore,
+        warm,
+        warm_decompositions,
+        warm_oracles,
+    )
 
-    if family not in (None, "graphs", "oracles", "all"):
-        print(f"error: warm supports --family graphs/oracles/all, "
+    if family not in (None, "graphs", "oracles", "decompositions", "all"):
+        print(f"error: warm supports --family "
+              f"graphs/oracles/decompositions/all, "
               f"got {family!r}", file=sys.stderr)
         return 2
-    families = (("graphs", "oracles") if family in ("all", None)
-                else (family,))
+    families = (("graphs", "oracles", "decompositions")
+                if family in ("all", None) else (family,))
     try:
         scenarios = (all_scenarios() if args.names is None
                      else [get_scenario(name) for name in args.names])
@@ -464,6 +493,11 @@ def _cmd_store(args: argparse.Namespace) -> int:
         if "oracles" in families:
             got = warm_oracles(OracleStore(root), scenarios,
                                sizes=args.sizes, seeds=tuple(args.seeds))
+            counts = {key: counts[key] + got[key] for key in counts}
+        if "decompositions" in families:
+            got = warm_decompositions(DecompositionStore(root), scenarios,
+                                      sizes=args.sizes,
+                                      seeds=tuple(args.seeds))
             counts = {key: counts[key] + got[key] for key in counts}
     except (KeyError, ValueError) as exc:
         message = exc.args[0] if exc.args else str(exc)
@@ -625,10 +659,22 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-worker graph LRU capacity (0 disables the "
                         "in-process cache; default: leave the configured "
                         "size, recorded in the run manifest)")
+    p.add_argument("--decomposition-store",
+                   action=argparse.BooleanOptionalAction, default=True,
+                   help="serve the staged pipeline's LDC snapshots from "
+                        "the store's decomposition family; "
+                        "--no-decomposition-store recomputes the "
+                        "decomposition per scenario x size while keeping "
+                        "the other families (default: on, moot under "
+                        "--no-store)")
     p.add_argument("--oracle-cache-size", type=int, default=None,
                    help="per-worker oracle-value LRU capacity (0 disables "
                         "it; default: leave the configured size, recorded "
                         "in the run manifest)")
+    p.add_argument("--decomposition-cache-size", type=int, default=None,
+                   help="per-worker decomposition-snapshot LRU capacity "
+                        "(0 disables it; default: leave the configured "
+                        "size, recorded in the run manifest)")
     p.add_argument("--fresh", action="store_true",
                    help="start a new run even if an incomplete "
                         "same-params run could be resumed")
@@ -649,7 +695,8 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "store",
         help="the on-disk artifact store (graph snapshots, oracle "
-             "baselines): ls / stat / gc / warm (src/repro/store/)")
+             "baselines, decomposition snapshots): ls / stat / gc / "
+             "warm (src/repro/store/)")
     store_sub = p.add_subparsers(dest="action", required=True)
 
     def _store_action(name, help_text):
@@ -679,9 +726,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     q = _store_action(
         "warm",
-        "pre-build and publish scenario graphs and baselines so the "
-        "next sweep starts warm (--family graphs/oracles/all, "
-        "default: all)")
+        "pre-build and publish scenario graphs, baselines, and "
+        "decomposition snapshots so the next sweep starts warm "
+        "(--family graphs/oracles/decompositions/all, default: all)")
     q.add_argument("--names", nargs="+", default=None,
                    help="scenarios to warm (default: all registered)")
     q.add_argument("--sizes", type=int, nargs="+", default=None,

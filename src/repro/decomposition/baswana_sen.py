@@ -159,8 +159,20 @@ def sampling_probability(n: int, eps: float) -> float:
 
 
 def build_baswana_sen(graph: Graph, eps: float, *, seed: int = 0,
-                      kappa: Optional[int] = None) -> BaswanaSenHierarchy:
-    """Construct a (kappa + 1)-level Baswana-Sen hierarchy (Theorem 3.4)."""
+                      kappa: Optional[int] = None,
+                      base: Optional[dict] = None) -> BaswanaSenHierarchy:
+    """Construct a (kappa + 1)-level Baswana-Sen hierarchy (Theorem 3.4).
+
+    With ``base=None`` level 0 is the singleton clustering of [5].
+    ``base`` may instead be a decomposition snapshot (the dict of
+    :func:`repro.decomposition.pipeline.ldc_snapshot`): level 0 is then
+    the snapshot's clustering -- the staged-pipeline composition where
+    the LDC decomposition seeds the hierarchy, trading the radius-i
+    cluster guarantee for radius i + r (r the base radius, which
+    :func:`verify_hierarchy` accounts for).  Level-0 trees come from the
+    snapshot's ``parent`` map, so they are BFS trees of the base
+    clusters and every structural invariant above level 0 is unchanged.
+    """
     n = graph.n
     if not 0 < eps <= 1:
         raise ValueError("eps must lie in (0, 1]")
@@ -169,12 +181,18 @@ def build_baswana_sen(graph: Graph, eps: float, *, seed: int = 0,
     p_sample = sampling_probability(n, eps)
     metrics = Metrics()
 
-    # Level 0: singletons.
+    # Level 0: singletons, or the supplied base clustering.
     level0 = HierarchyLevel(index=0)
-    for v in graph.nodes():
-        level0.cluster_of[v] = v
-        level0.parent[v] = None
-        level0.dist[v] = 0
+    if base is None:
+        for v in graph.nodes():
+            level0.cluster_of[v] = v
+            level0.parent[v] = None
+            level0.dist[v] = 0
+    else:
+        for v in graph.nodes():
+            level0.cluster_of[v] = base["center_of"][v]
+            level0.parent[v] = base["parent"][v]
+            level0.dist[v] = base["dist"][v]
     levels = [level0]
 
     for i in range(kappa - 1):
@@ -314,10 +332,13 @@ def verify_hierarchy(graph: Graph, h: BaswanaSenHierarchy) -> Dict[str, int]:
         assert here == prev, f"level {i} does not partition level {i - 1}"
         assert not (set(h.levels[i].cluster_of) & h.levels[i].low_degree)
 
-    # (a) radius-i connected clusters spanned by their trees.
+    # (a) radius-(i + base_r) connected clusters spanned by their trees
+    # (base_r = 0 for the singleton base of [5]; a seeded hierarchy adds
+    # its level-0 clustering radius at every level).
+    base_r = h.levels[0].max_radius()
     for level in h.levels[:-1]:
         for v, c in level.cluster_of.items():
-            assert level.dist[v] <= level.index
+            assert level.dist[v] <= level.index + base_r
             p = level.parent[v]
             if v == c:
                 assert p is None

@@ -28,7 +28,11 @@ regression-tracked workload:
   sequential baselines (ground-truth distance matrices, matching
   sizes, the LDC reference realization), keyed additionally by the
   oracle's name and source revision, so cells stop recomputing their
-  ground truth too.
+  ground truth too;
+* :mod:`repro.runner.decomposition_cache` -- the third chain, for the
+  staged pipeline's input artifact: the LDC decomposition snapshot the
+  ``ldc`` producer cell realizes and the cover/spanner/hierarchy cells
+  consume, so downstream cells stop re-running MPX per cell.
 
 Consumers: the ``repro sweep`` CLI command, ``repro scenarios sweep``,
 :func:`repro.testing.sweep`, and ``examples/parallel_sweep.py``.

@@ -53,12 +53,13 @@ class SweepOutcome:
         by_status: Dict[str, int] = {}
         by_source: Dict[str, int] = {}
         by_oracle: Dict[str, int] = {}
+        by_decomposition: Dict[str, int] = {}
         for result in self.results:
             by_status[result.status] = by_status.get(result.status, 0) + 1
-            # Graph/oracle provenance is only meaningful for cells
-            # executed *this* invocation: restored records carry the
-            # source (and cache configuration) of the run that produced
-            # them.
+            # Graph/oracle/decomposition provenance is only meaningful
+            # for cells executed *this* invocation: restored records
+            # carry the source (and cache configuration) of the run
+            # that produced them.
             if (result.record is not None
                     and result.key not in self.restored_keys):
                 source = result.record.get("graph_source", "built")
@@ -66,6 +67,11 @@ class SweepOutcome:
                 oracle = result.record.get("oracle_source", "none")
                 if oracle != "none":  # cells without a baseline: no row
                     by_oracle[oracle] = by_oracle.get(oracle, 0) + 1
+                decomposition = result.record.get("decomposition_source",
+                                                  "none")
+                if decomposition != "none":  # non-pipeline cells: no row
+                    by_decomposition[decomposition] = \
+                        by_decomposition.get(decomposition, 0) + 1
         return {
             "run_id": self.run_id,
             "cells": len(self.results),
@@ -77,22 +83,60 @@ class SweepOutcome:
             "statuses": by_status,
             "graph_sources": by_source,
             "oracle_sources": by_oracle,
-            "wall_time": sum(r.wall_time for r in self.results),
+            "decomposition_sources": by_decomposition,
+            # Wall time spent executing cells *this* invocation;
+            # restored cells' recorded time (from the runs that actually
+            # paid it) only counts toward the cumulative figure.
+            "wall_time": sum(r.wall_time for r in self.results
+                             if r.key not in self.restored_keys),
+            "wall_time_total": sum(r.wall_time for r in self.results),
         }
 
 
 def _source_counts(executed: Sequence[CellResult]) -> Dict[str, Any]:
-    """Per-family provenance counts over one invocation's cell records."""
+    """Per-family provenance counts over one invocation's cell records.
+
+    ``"none"`` rows -- cells with no baseline / no input decomposition
+    -- are dropped, matching :meth:`SweepOutcome.summary`: the manifest
+    and the summary report the same sweep the same way (graphs have no
+    ``"none"`` state, every cell has a graph).
+    """
     graphs: Dict[str, int] = {}
     oracles: Dict[str, int] = {}
+    decompositions: Dict[str, int] = {}
     for result in executed:
         if result.record is None:
             continue
         source = result.record.get("graph_source", "built")
         graphs[source] = graphs.get(source, 0) + 1
         oracle = result.record.get("oracle_source", "none")
-        oracles[oracle] = oracles.get(oracle, 0) + 1
-    return {"graphs": graphs, "oracles": oracles}
+        if oracle != "none":
+            oracles[oracle] = oracles.get(oracle, 0) + 1
+        decomposition = result.record.get("decomposition_source", "none")
+        if decomposition != "none":
+            decompositions[decomposition] = \
+                decompositions.get(decomposition, 0) + 1
+    return {"graphs": graphs, "oracles": oracles,
+            "decompositions": decompositions}
+
+
+def _merge_counts(base: Optional[Dict[str, Any]],
+                  update: Dict[str, Any]) -> Dict[str, Any]:
+    """Union of two ``_source_counts`` payloads (per-family key sums).
+
+    A resumed run's manifest already carries the counters of the prior
+    invocation(s); stamping only the current invocation's counts would
+    overwrite them (the resume-accounting bug), so the engine merges
+    instead: the stamped counters always cover every executed cell of
+    every invocation.
+    """
+    merged: Dict[str, Any] = {}
+    for payload in (base or {}, update):
+        for family, counts in payload.items():
+            rows = merged.setdefault(family, {})
+            for source, count in counts.items():
+                rows[source] = rows.get(source, 0) + count
+    return merged
 
 
 def sweep_params(names: Optional[Sequence[str]],
@@ -118,7 +162,9 @@ def run_sweep(names: Optional[Sequence[str]] = None, *,
               graph_store_dir: "Optional[str]" = None,
               graph_cache_size: Optional[int] = None,
               oracle_store_dir: "Optional[str]" = None,
-              oracle_cache_size: Optional[int] = None) -> SweepOutcome:
+              oracle_cache_size: Optional[int] = None,
+              decomposition_store_dir: "Optional[str]" = None,
+              decomposition_cache_size: Optional[int] = None) -> SweepOutcome:
     """Run (or resume) one sweep; see the module docstring.
 
     ``fresh=True`` always starts a new run directory even when an
@@ -129,17 +175,21 @@ def run_sweep(names: Optional[Sequence[str]] = None, *,
     are re-queued up to that many extra times before being recorded as
     failures (the cell record carries ``attempts``).
 
-    ``graph_store_dir`` / ``oracle_store_dir`` connect the on-disk
-    artifact store families (:mod:`repro.store`) for this sweep, and
-    ``graph_cache_size`` / ``oracle_cache_size`` re-size the per-worker
-    LRUs; all four are process-wide settings (propagated to pool
-    workers through the environment) and are left untouched when None.
-    The effective values are recorded in the run manifest either way,
-    and the run's store hit/miss counters (graphs and oracles, from the
-    cells executed this invocation) are stamped onto the manifest when
-    the sweep finishes.
+    ``graph_store_dir`` / ``oracle_store_dir`` /
+    ``decomposition_store_dir`` connect the on-disk artifact store
+    families (:mod:`repro.store`) for this sweep, and
+    ``graph_cache_size`` / ``oracle_cache_size`` /
+    ``decomposition_cache_size`` re-size the per-worker LRUs; all six
+    are process-wide settings (propagated to pool workers through the
+    environment) and are left untouched when None.  The effective
+    values are recorded in the run manifest either way, and the run's
+    store hit/miss counters (graphs, oracles, and decompositions, from
+    the executed cells) are stamped onto the manifest -- merged across
+    invocations, so a resumed run's counters cover every invocation's
+    executed cells, and stamped even when the invocation is interrupted
+    mid-sweep.
     """
-    from repro.runner import graph_cache, oracle_cache
+    from repro.runner import decomposition_cache, graph_cache, oracle_cache
 
     if graph_cache_size is not None:
         graph_cache.configure(graph_cache_size)
@@ -149,6 +199,10 @@ def run_sweep(names: Optional[Sequence[str]] = None, *,
         oracle_cache.configure(oracle_cache_size)
     if oracle_store_dir is not None:
         oracle_cache.configure_store(oracle_store_dir)
+    if decomposition_cache_size is not None:
+        decomposition_cache.configure(decomposition_cache_size)
+    if decomposition_store_dir is not None:
+        decomposition_cache.configure_store(decomposition_store_dir)
 
     specs = (build_specs(names, sizes=sizes, seeds=seeds)
              if specs is None else list(specs))
@@ -165,6 +219,7 @@ def run_sweep(names: Optional[Sequence[str]] = None, *,
         if run is None:
             effective_store = graph_cache.effective_store()
             effective_oracles = oracle_cache.effective_store()
+            effective_decompositions = decomposition_cache.effective_store()
             run = store.create_run(
                 specs, params, revision=revision,
                 extra={"graph_cache_size": graph_cache.effective_maxsize(),
@@ -173,7 +228,12 @@ def run_sweep(names: Optional[Sequence[str]] = None, *,
                        "oracle_cache_size":
                            oracle_cache.effective_maxsize(),
                        "oracle_store": (None if effective_oracles is None
-                                        else str(effective_oracles.root))})
+                                        else str(effective_oracles.root)),
+                       "decomposition_cache_size":
+                           decomposition_cache.effective_maxsize(),
+                       "decomposition_store":
+                           (None if effective_decompositions is None
+                            else str(effective_decompositions.root))})
         else:
             planned = set(spec.key for spec in specs)
             cached = {result.key: result for result in run.load_results()
@@ -181,20 +241,32 @@ def run_sweep(names: Optional[Sequence[str]] = None, *,
 
     todo = [spec for spec in specs if spec.key not in cached]
 
+    # Completed results also accumulate through the persist callback
+    # (not just run_cells' return value) so the counter stamp below
+    # covers whatever actually ran even when the invocation is
+    # interrupted mid-sweep.
+    completed: List[CellResult] = []
+
     def persist(result: CellResult) -> None:
+        completed.append(result)
         if run is not None:
             run.append(result)
         if on_result is not None:
             on_result(result)
 
-    executed = run_cells(todo, workers=workers, timeout=timeout,
-                         retries=retries, on_result=persist)
-
-    if run is not None:
-        # Cache-efficacy provenance for *this* invocation's cells:
-        # how many graphs / baselines were served from the LRU, the
-        # disk store, or computed fresh (store hits vs misses).
-        run.update_manifest({"store_counters": _source_counts(executed)})
+    try:
+        executed = run_cells(todo, workers=workers, timeout=timeout,
+                             retries=retries, on_result=persist)
+    finally:
+        if run is not None:
+            # Cache-efficacy provenance: how many graphs / baselines /
+            # decompositions were served from the LRU, the disk store,
+            # or computed fresh -- merged with any prior invocations'
+            # counters so a resumed run's manifest reflects the union
+            # of all executed cells.
+            run.update_manifest({"store_counters": _merge_counts(
+                run.manifest.get("store_counters"),
+                _source_counts(completed))})
 
     merged = dict(cached)
     for result in executed:

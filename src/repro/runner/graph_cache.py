@@ -162,12 +162,15 @@ def clear() -> None:
 def configure(maxsize: int) -> None:
     """Set the LRU capacity (0 disables caching); clears the cache.
 
-    Also exports :data:`CACHE_SIZE_ENV` so worker processes spawned
-    after this call size their LRUs the same way.
+    Clamped to >= 0 -- the same clamp workers apply when they read
+    :data:`CACHE_SIZE_ENV` -- so parent and worker capacities (and the
+    manifest's ``effective_maxsize``) can never disagree.  Also exports
+    the env var so worker processes spawned after this call size their
+    LRUs the same way.
     """
     global _maxsize
-    _maxsize = maxsize
-    os.environ[CACHE_SIZE_ENV] = str(maxsize)
+    _maxsize = max(0, int(maxsize))
+    os.environ[CACHE_SIZE_ENV] = str(_maxsize)
     clear()
 
 

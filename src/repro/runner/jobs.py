@@ -27,10 +27,13 @@ CellIdentity = Tuple[str, str, int, int]
 # same revision.  Single source of the "canonical payload" rule shared
 # by DifferentialRecord.canonical_dict and CellResult.canonical_record.
 # ``graph_source`` is where the cell's graph came from (built / lru /
-# store) and ``oracle_source`` where its baseline came from (computed /
-# lru / store / none) -- provenance that depends on cache and store
-# state, never on the cell's deterministic payload.
-NONDETERMINISTIC_FIELDS = ("wall_time", "graph_source", "oracle_source")
+# store), ``oracle_source`` where its baseline came from (computed /
+# lru / store / none), and ``decomposition_source`` where its input
+# decomposition snapshot came from (same vocabulary) -- provenance that
+# depends on cache and store state, never on the cell's deterministic
+# payload.
+NONDETERMINISTIC_FIELDS = ("wall_time", "graph_source", "oracle_source",
+                           "decomposition_source")
 
 
 def error_headline(error: Optional[str]) -> str:

@@ -1,7 +1,8 @@
 """Algorithm bindings: how a scenario graph is run and cross-checked.
 
 A :class:`Binding` names one algorithm family (APSP, BFS collections,
-matching, covers, decompositions), a runner that executes the paper's
+matching, covers, decompositions, spanners, hierarchies), a runner
+that executes the paper's
 distributed implementation on the literal CONGEST simulator, a named
 sequential **oracle** (:class:`repro.baselines.oracles.OracleSpec`) the
 outputs must equal, and a metered-complexity :class:`Envelope` -- the
@@ -15,6 +16,13 @@ accepts the resolved oracle value and only computes it itself when
 called standalone (``binding.run(graph, seed)`` stays valid).  The
 ``cover`` binding has no sequential oracle -- its verification is
 self-contained -- so its ``oracle`` is None.
+
+The ``mpx-cover`` / ``ldc-spanner`` / ``bs-hierarchy`` bindings are the
+**staged pipeline**: each declares ``decomposition="ldc"`` and consumes
+the LDC snapshot as an input artifact (served through
+:mod:`repro.runner.decomposition_cache`) instead of re-running MPX per
+cell; the pure derivations bill the snapshot's construction cost, while
+the hierarchy cell meters its own Theorem 3.4 construction on top.
 
 The envelopes are deliberately loose (the paper's bounds hide polylog
 factors and constants; ours carry an explicit safety margin on top of
@@ -79,6 +87,13 @@ class Binding:
     makes the runner compute its own baseline inline, so direct calls
     keep working without the chain.  ``oracle`` (the spec) is ``None``
     for self-verifying bindings.
+
+    ``decomposition`` names the decomposition snapshot the binding
+    consumes as an input artifact (today: ``"ldc"``), or ``None`` for
+    bindings outside the staged pipeline.  Consumers additionally
+    accept ``run(..., decomposition=snapshot)``: the harness serves the
+    snapshot through :mod:`repro.runner.decomposition_cache` (LRU ->
+    store -> compute), and again ``None`` means compute inline.
     """
 
     name: str
@@ -87,6 +102,7 @@ class Binding:
     run: Callable[..., BindingResult]
     envelope: Envelope
     oracle: Optional[OracleSpec] = None
+    decomposition: Optional[str] = None
 
 
 def _resolve(spec: OracleSpec, g: Graph, seed: int, oracle: Any) -> Any:
@@ -176,7 +192,18 @@ def _run_cover(g: Graph, seed: int, oracle: Any = None) -> BindingResult:
                                    for key, val in stats.items()}})
 
 
-def _run_ldc(g: Graph, seed: int, oracle: Any = None) -> BindingResult:
+def _ldc_input(g: Graph, seed: int, decomposition: Any) -> Any:
+    """The LDC snapshot a staged runner consumes (inline when unserved)."""
+    if decomposition is not None:
+        return decomposition
+    from repro.decomposition.ldc import build_ldc
+    from repro.decomposition.pipeline import ldc_snapshot
+
+    return ldc_snapshot(build_ldc(g, seed=seed))
+
+
+def _run_ldc(g: Graph, seed: int, oracle: Any = None,
+             decomposition: Any = None) -> BindingResult:
     """Lemma 2.4: the distributed (MPX-derived) LDC decomposition.
 
     The cheap Definition 2.3 predicates (clusters partition V, every
@@ -187,16 +214,22 @@ def _run_ldc(g: Graph, seed: int, oracle: Any = None) -> BindingResult:
     decomposition sequentially.  ``realization_matches_reference`` is
     the differential: any drift between the distributed run and the
     (possibly cached) reference realization flips it.
-    """
-    from repro.decomposition.ldc import build_ldc
-    from repro.decomposition.mpx import shift_cap
 
-    result = build_ldc(g, seed=seed)
+    This is the pipeline's *producer* cell: it consumes (and thereby
+    publishes, on a cold store) the same snapshot the downstream
+    cover/spanner/hierarchy cells read, so its checks run on exactly
+    the artifact they inherit.
+    """
+    from repro.decomposition.mpx import shift_cap
+    from repro.decomposition.pipeline import snapshot_out_edges
+
+    snapshot = _ldc_input(g, seed, decomposition)
     ref = _resolve(ORACLES["ldc-reference"], g, seed, oracle)
-    center_of = result.center_of
+    center_of = snapshot["center_of"]
+    out_edges = snapshot_out_edges(snapshot)
     partition = set(center_of) == set(g.nodes())
     f_ok = True
-    for v, edges in result.out_edges.items():
+    for v, edges in out_edges.items():
         covered = {center_of[u] for (_v, u) in edges}
         needed = {center_of[u] for u in g.neighbors(v)
                   if center_of[u] != center_of[v]}
@@ -205,14 +238,14 @@ def _run_ldc(g: Graph, seed: int, oracle: Any = None) -> BindingResult:
                 for (_v, u) in edges):
             f_ok = False
             break
-    d = result.max_out_degree()
-    clusters = result.clustering.num_clusters
+    d = max((len(edges) for edges in out_edges.values()), default=0)
+    clusters = snapshot["clusters"]
     verified = bool(ref["valid"])
     matches = verified and d == ref["d"] and clusters == ref["clusters"]
     # Lemma 2.4 realization bounds: strong diameter <= 2 * max shift
     # (the MPX cap), out-degree = #neighboring clusters = O(log n)
     # w.h.p.; both carry the usual explicit safety margin.
-    r_bound = 4.0 * shift_cap(g.n, result.clustering.beta)
+    r_bound = 4.0 * shift_cap(g.n, snapshot["beta"])
     d_bound = 12.0 * _log2(g.n) + 8
     r_ok = verified and ref["r"] <= r_bound
     d_ok = verified and d <= d_bound
@@ -226,10 +259,163 @@ def _run_ldc(g: Graph, seed: int, oracle: Any = None) -> BindingResult:
     }
     return BindingResult(
         ok=all(checks.values()), checks=checks,
-        metrics=result.metrics.as_dict(),
+        metrics=dict(snapshot["metrics"]),
         detail={"r": ref["r"], "d": d, "clusters": clusters,
-                "beta": result.clustering.beta,
+                "beta": snapshot["beta"],
                 "r_bound": r_bound, "d_bound": d_bound})
+
+
+def _run_mpx_cover(g: Graph, seed: int, oracle: Any = None,
+                   decomposition: Any = None) -> BindingResult:
+    """Pipeline stage: the padded neighborhood cover over the snapshot.
+
+    Derivation is pure per-node work on the input artifact (each
+    F-edge source joins the set its edge lands in), so the cell bills
+    the MPX construction cost carried by the snapshot; the cover's
+    padding/connectivity is verified exhaustively here and cross-checked
+    against the sequentially recomputed ``mpx-cover`` oracle stats.
+    """
+    from repro.decomposition.mpx import shift_cap
+    from repro.decomposition.pipeline import (
+        derive_mpx_cover,
+        verify_mpx_cover,
+    )
+
+    snapshot = _ldc_input(g, seed, decomposition)
+    cover = derive_mpx_cover(snapshot)
+    try:
+        stats = verify_mpx_cover(g, cover, snapshot)
+        padded = True
+    except AssertionError:
+        stats = {"clusters": -1, "max_overlap": -1, "radius": -1}
+        padded = False
+    ref = _resolve(ORACLES["mpx-cover"], g, seed, oracle)
+    verified = bool(ref["valid"])
+    matches = padded and verified and all(
+        stats[name] == ref[name]
+        for name in ("clusters", "max_overlap", "radius"))
+    # Cover bounds inherited from Lemma 2.4: radius <= r + 1 (one
+    # F-edge hop past the cluster radius), overlap <= 1 + d (home
+    # cluster plus one per outgoing F-edge target).
+    r_bound = 4.0 * shift_cap(g.n, snapshot["beta"]) + 1
+    overlap_bound = 12.0 * _log2(g.n) + 9
+    radius_ok = padded and stats["radius"] <= r_bound
+    overlap_ok = padded and stats["max_overlap"] <= overlap_bound
+    checks = {
+        "neighborhoods_padded_and_connected": padded,
+        "cover_verified_by_reference": verified,
+        "realization_matches_reference": matches,
+        "radius_within_bound": radius_ok,
+        "overlap_within_bound": overlap_ok,
+    }
+    return BindingResult(
+        ok=all(checks.values()), checks=checks,
+        metrics=dict(snapshot["metrics"]),
+        detail={"clusters": stats["clusters"],
+                "max_overlap": stats["max_overlap"],
+                "radius": stats["radius"],
+                "r_bound": r_bound, "overlap_bound": overlap_bound})
+
+
+def _run_ldc_spanner(g: Graph, seed: int, oracle: Any = None,
+                     decomposition: Any = None) -> BindingResult:
+    """Pipeline stage: the cluster spanner over the snapshot.
+
+    Tree edges + F-edges, again pure derivation billed at the
+    snapshot's construction cost; verified exhaustively (subgraph,
+    connectivity, exact max stretch) and cross-checked against the
+    ``ldc-spanner`` oracle.
+    """
+    from repro.decomposition.mpx import shift_cap
+    from repro.decomposition.pipeline import (
+        derive_ldc_spanner,
+        verify_ldc_spanner,
+    )
+
+    snapshot = _ldc_input(g, seed, decomposition)
+    edges = derive_ldc_spanner(snapshot)
+    try:
+        stats = verify_ldc_spanner(g, edges)
+        subgraph = True
+    except AssertionError:
+        stats = {"size": -1, "stretch": -1}
+        subgraph = False
+    ref = _resolve(ORACLES["ldc-spanner"], g, seed, oracle)
+    verified = bool(ref["valid"])
+    matches = subgraph and verified and all(
+        stats[name] == ref[name] for name in ("size", "stretch"))
+    # Stretch inherited from Lemma 2.4: same cluster reaches through
+    # the tree (<= 2r), neighboring clusters through one F-edge plus a
+    # tree walk (<= 2r + 1).
+    stretch_bound = 8.0 * shift_cap(g.n, snapshot["beta"]) + 1
+    stretch_ok = subgraph and stats["stretch"] <= stretch_bound
+    checks = {
+        "spanner_subgraph_preserves_connectivity": subgraph,
+        "spanner_verified_by_reference": verified,
+        "realization_matches_reference": matches,
+        "stretch_within_bound": stretch_ok,
+    }
+    return BindingResult(
+        ok=all(checks.values()), checks=checks,
+        metrics=dict(snapshot["metrics"]),
+        detail={"size": stats["size"], "stretch": stats["stretch"],
+                "stretch_bound": stretch_bound})
+
+
+def _run_bs_hierarchy(g: Graph, seed: int, oracle: Any = None,
+                      decomposition: Any = None) -> BindingResult:
+    """Pipeline stage: the LDC-seeded Baswana-Sen hierarchy.
+
+    The only downstream cell that *runs the simulator again*: the
+    hierarchy construction (Theorem 3.4) is metered CONGEST work on
+    top of the input snapshot, seeded at level 0 by the LDC clustering,
+    so the cell bills its own construction cost rather than the
+    snapshot's.  Verified exhaustively (partition, tree structure,
+    edge serving) and cross-checked against the ``bs-hierarchy``
+    oracle.
+    """
+    from repro.decomposition.baswana_sen import (
+        build_baswana_sen,
+        verify_hierarchy,
+    )
+    from repro.decomposition.mpx import shift_cap
+    from repro.decomposition.pipeline import BS_EPS
+
+    snapshot = _ldc_input(g, seed, decomposition)
+    hierarchy = build_baswana_sen(g, BS_EPS, seed=seed, base=snapshot)
+    try:
+        stats = verify_hierarchy(g, hierarchy)
+        structured = True
+    except AssertionError:
+        stats = {"levels": -1, "max_radius": -1, "f_edges": -1,
+                 "cluster_edges": -1, "max_f_degree": -1}
+        structured = False
+    ref = _resolve(ORACLES["bs-hierarchy"], g, seed, oracle)
+    verified = bool(ref["valid"])
+    matches = structured and verified and all(
+        stats[name] == ref[name]
+        for name in ("levels", "max_radius", "f_edges", "cluster_edges",
+                     "max_f_degree"))
+    # Cluster radius <= kappa + r: level i adds at most one hop per
+    # level on top of the base radius (Theorem 3.3(a), offset by the
+    # seeded level-0 clustering).
+    radius_bound = 4.0 * shift_cap(g.n, snapshot["beta"]) + hierarchy.kappa
+    radius_ok = structured and stats["max_radius"] <= radius_bound
+    checks = {
+        "hierarchy_partitions_and_serves_edges": structured,
+        "hierarchy_verified_by_reference": verified,
+        "realization_matches_reference": matches,
+        "radius_within_bound": radius_ok,
+    }
+    return BindingResult(
+        ok=all(checks.values()), checks=checks,
+        metrics=hierarchy.metrics.as_dict(),
+        detail={"levels": stats["levels"],
+                "max_radius": stats["max_radius"],
+                "f_edges": stats["f_edges"],
+                "cluster_edges": stats["cluster_edges"],
+                "kappa": hierarchy.kappa,
+                "radius_bound": radius_bound})
 
 
 # ---------------------------------------------------------------------------
@@ -283,6 +469,17 @@ _LDC_ENVELOPE = Envelope(
     messages_label="16·(m+n)·log n",
 )
 
+# Baswana-Sen on the LDC base (Theorem 3.4 at kappa = 2): O(kappa)
+# membership/sampling/join phases of O(1) broadcast rounds each plus
+# the tree downcasts, O(kappa m) messages.  Floored generously at tiny
+# n where the per-phase constants dominate.
+_BS_ENVELOPE = Envelope(
+    rounds=lambda n, m: 60 * (_log2(n) + 8),
+    messages=lambda n, m: 40 * (m + n) * _log2(n),
+    rounds_label="60·(log n + 8)",
+    messages_label="40·(m+n)·log n",
+)
+
 
 BINDINGS: Dict[str, Binding] = {b.name: b for b in (
     Binding(
@@ -320,7 +517,32 @@ BINDINGS: Dict[str, Binding] = {b.name: b for b in (
                     "via MPX vs the exhaustively-verified sequential "
                     "realization",
         run=_run_ldc, envelope=_LDC_ENVELOPE,
-        oracle=ORACLES["ldc-reference"]),
+        oracle=ORACLES["ldc-reference"],
+        decomposition="ldc"),
+    Binding(
+        name="mpx-cover", family="cover",
+        description="Pipeline stage: padded neighborhood cover derived "
+                    "from the LDC snapshot, verified padding / radius / "
+                    "overlap",
+        run=_run_mpx_cover, envelope=_LDC_ENVELOPE,
+        oracle=ORACLES["mpx-cover"],
+        decomposition="ldc"),
+    Binding(
+        name="ldc-spanner", family="spanner",
+        description="Pipeline stage: cluster spanner (tree + F edges) "
+                    "derived from the LDC snapshot, verified subgraph / "
+                    "stretch",
+        run=_run_ldc_spanner, envelope=_LDC_ENVELOPE,
+        oracle=ORACLES["ldc-spanner"],
+        decomposition="ldc"),
+    Binding(
+        name="bs-hierarchy", family="hierarchy",
+        description="Pipeline stage: Baswana-Sen hierarchy (Theorem "
+                    "3.4) seeded at level 0 by the LDC snapshot, "
+                    "verified partition / serving / radius",
+        run=_run_bs_hierarchy, envelope=_BS_ENVELOPE,
+        oracle=ORACLES["bs-hierarchy"],
+        decomposition="ldc"),
 )}
 
 

@@ -106,7 +106,8 @@ register(Scenario(
     name="dense-gnp", regime="dense, m=Theta(n^2)",
     description="Erdos-Renyi G(n, 1/2): the paper's headline dense case",
     build=lambda size, seed: gnp(size, 0.5, seed=seed),
-    algorithms=("apsp-unweighted", "bfs-collection", "cover", "ldc"),
+    algorithms=("apsp-unweighted", "bfs-collection", "cover", "ldc",
+                "mpx-cover", "ldc-spanner", "bs-hierarchy"),
     default_size=14, sizes=(14, 20, 28, 40), tags=("dense",)))
 
 register(Scenario(
@@ -176,7 +177,8 @@ register(Scenario(
     name="grid", regime="moderate diameter Theta(sqrt n)",
     description="the near-square grid, degree <= 4",
     build=_grid_build,
-    algorithms=("apsp-unweighted", "bfs-collection", "ldc"),
+    algorithms=("apsp-unweighted", "bfs-collection", "ldc",
+                "bs-hierarchy"),
     randomized=False, default_size=16, sizes=(16, 25, 36),
     tags=("sparse", "high-diameter")))
 
@@ -199,7 +201,7 @@ register(Scenario(
     name="sparse-gnp", regime="sparse, m=Theta(n)",
     description="G(n, 3/n): barely connected after patch-up",
     build=lambda size, seed: gnp(size, min(0.95, 3.0 / size), seed=seed),
-    algorithms=("apsp-unweighted", "cover", "ldc"),
+    algorithms=("apsp-unweighted", "cover", "ldc", "mpx-cover"),
     default_size=18, sizes=(18, 28, 40), tags=("sparse",)))
 
 register(Scenario(

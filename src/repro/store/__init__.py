@@ -16,14 +16,17 @@ families** over a shared byte layer:
 * :mod:`repro.store.oracles` -- differential baseline outputs keyed by
   ``(scenario, size, derived seed, oracle name, baseline source
   revision)``, so cells skip recomputing their ground truth;
-* :mod:`repro.store.decompositions` -- decomposition hierarchies
-  (registered stub: serialization ready, no sweep-path consumer yet).
+* :mod:`repro.store.decompositions` -- LDC decomposition snapshots
+  keyed by ``(scenario, size, derived seed, algorithm)``, the input
+  artifact of the staged cover/spanner/hierarchy cells.
 
-Consumers: the fall-through chains in :mod:`repro.runner.graph_cache`
-and :mod:`repro.runner.oracle_cache` (in-process LRU -> this store ->
+Consumers: the fall-through chains in :mod:`repro.runner.graph_cache`,
+:mod:`repro.runner.oracle_cache`, and :mod:`repro.runner.
+decomposition_cache` (in-process LRU -> this store ->
 compute-and-publish), the ``repro store`` CLI family
 (``ls``/``stat``/``gc``/``warm``, all ``--family``-aware), and the
-``graph-store`` / ``oracle-store`` benchmarks.
+``graph-store`` / ``oracle-store`` / ``decomposition-pipeline``
+benchmarks.
 """
 
 from repro.store.artifacts import (
@@ -47,13 +50,19 @@ from repro.store.oracles import (
     oracle_key,
     warm_oracles,
 )
-from repro.store.decompositions import DECOMPOSITION_FAMILY, DecompositionStore
+from repro.store.decompositions import (
+    DECOMPOSITION_FAMILY,
+    DecompositionStore,
+    decomposition_key,
+    warm_decompositions,
+)
 
 __all__ = [
     "ArtifactEntry", "ArtifactFamily", "ArtifactStore",
     "DECOMPOSITION_FAMILY", "DEFAULT_STORE_DIR", "DecompositionStore",
     "GRAPH_FAMILY", "GraphStore", "ORACLE_FAMILY", "OracleStore",
-    "SCHEMA_VERSION", "all_families", "artifact_key", "family_names",
-    "get_family", "graph_key", "oracle_key", "register_family", "warm",
+    "SCHEMA_VERSION", "all_families", "artifact_key",
+    "decomposition_key", "family_names", "get_family", "graph_key",
+    "oracle_key", "register_family", "warm", "warm_decompositions",
     "warm_oracles",
 ]

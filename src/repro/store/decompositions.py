@@ -1,21 +1,24 @@
-"""Decomposition-hierarchy snapshots: the third artifact family (stub).
+"""Decomposition snapshots: the third artifact family.
 
-The ROADMAP's next artifact type after oracle outputs: a seed-
-deterministic decomposition (today: the LDC decomposition of
+A seed-deterministic decomposition (today: the LDC decomposition of
 Lemma 2.4) is as content-addressable as the graph it was built from,
 keyed by::
 
     (scenario, size, derived_seed, algorithm)
 
-This module registers the family and provides a minimal typed codec --
-the cluster map (``center_of``/``dist``/``parent`` as dense per-node
-arrays) plus the directed inter-cluster edge set F -- so sharded
-sweeps can eventually agree on one decomposition without re-deriving
-it.  It is deliberately a *stub*: nothing in the sweep path consumes it
-yet (the LDC differential cells cache their baseline through the
-oracle family instead); the round trip is pinned by
-``tests/test_oracle_store.py`` so the serialization is ready when a
-consumer lands.
+The stored value is the plain-dict **snapshot** of
+:func:`repro.decomposition.pipeline.ldc_snapshot` -- the cluster map
+(``center_of``/``dist``/``parent`` as dense per-node arrays), the
+directed inter-cluster edge set F, and the construction metrics /
+``beta`` / cluster count in the manifest -- so a load returns exactly
+what a fresh computation would, including the metered construction
+bill.  That exactness is what lets downstream cells (the MPX cover,
+the LDC spanner, the Baswana-Sen hierarchy) consume a stored snapshot
+through :mod:`repro.runner.decomposition_cache` and still produce
+byte-identical records with the store on or off.
+
+Like the sibling families, a truncated or inconsistent entry is
+quarantined and recomputed, never an error.
 """
 
 from __future__ import annotations
@@ -34,16 +37,20 @@ from repro.store.families import ArtifactFamily, register_family
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from pathlib import Path
 
-    from repro.decomposition.ldc import LDCDecomposition
-
 DECOMPOSITION_KIND = "decompositions"
+
+# The construction-metrics keys a snapshot round-trips (the manifest is
+# JSON, so ints survive exactly).
+_METRIC_FIELDS = ("rounds", "messages", "broadcasts", "words",
+                  "max_edge_congestion")
 
 DECOMPOSITION_FAMILY = register_family(ArtifactFamily(
     kind=DECOMPOSITION_KIND,
     key_fields=("scenario", "size", "derived_seed", "algorithm"),
-    schema_version=1,
-    description="decomposition hierarchies (cluster maps + inter-cluster "
-                "edge sets); registered ahead of a sweep-path consumer"))
+    schema_version=2,
+    description="decomposition snapshots (cluster maps + inter-cluster "
+                "edge sets + construction metrics), consumed by the "
+                "staged cover/spanner/hierarchy cells"))
 
 
 def decomposition_identity(scenario: str, size: int, derived_seed: int,
@@ -51,6 +58,13 @@ def decomposition_identity(scenario: str, size: int, derived_seed: int,
     return DECOMPOSITION_FAMILY.identity(
         scenario=scenario, size=size, derived_seed=derived_seed,
         algorithm=algorithm)
+
+
+def decomposition_key(scenario: str, size: int, derived_seed: int,
+                      algorithm: str) -> str:
+    """The content address of one stored decomposition snapshot."""
+    return DECOMPOSITION_FAMILY.key(
+        decomposition_identity(scenario, size, derived_seed, algorithm))
 
 
 class DecompositionStore:
@@ -64,18 +78,19 @@ class DecompositionStore:
         return self.artifacts.root
 
     def publish(self, scenario: str, size: int, derived_seed: int,
-                algorithm: str, ldc: "LDCDecomposition") -> bool:
-        """Snapshot one LDC decomposition; True if *we* published it."""
-        nodes = sorted(ldc.center_of)
-        center = np.asarray([ldc.center_of[v] for v in nodes],
+                algorithm: str, snapshot: Dict[str, Any]) -> bool:
+        """Publish one snapshot dict; True if *we* published it."""
+        nodes = sorted(snapshot["center_of"])
+        center = np.asarray([snapshot["center_of"][v] for v in nodes],
                             dtype=np.int64)
-        dist = np.asarray([ldc.clustering.dist[v] for v in nodes],
+        dist = np.asarray([snapshot["dist"][v] for v in nodes],
                           dtype=np.int64)
         parent = np.asarray(
-            [-1 if ldc.parent[v] is None else ldc.parent[v] for v in nodes],
+            [-1 if snapshot["parent"][v] is None else snapshot["parent"][v]
+             for v in nodes],
             dtype=np.int64)
-        f_edges = sorted(ldc.f_edges())
-        edges = np.asarray(f_edges, dtype=np.int64).reshape(-1, 2)
+        edges = np.asarray(sorted(snapshot["f_edges"]),
+                           dtype=np.int64).reshape(-1, 2)
         return self.artifacts.publish(
             DECOMPOSITION_FAMILY,
             decomposition_identity(scenario, size, derived_seed, algorithm),
@@ -83,17 +98,21 @@ class DecompositionStore:
              "f_edges": edges},
             extra={"decomposition": {
                 "n": len(nodes),
-                "clusters": ldc.clustering.num_clusters,
-                "beta": ldc.clustering.beta,
+                "clusters": int(snapshot["clusters"]),
+                "beta": snapshot["beta"],
+                "metrics": {name: int(snapshot["metrics"][name])
+                            for name in _METRIC_FIELDS},
             }})
 
     def load(self, scenario: str, size: int, derived_seed: int,
              algorithm: str) -> Optional[Dict[str, Any]]:
-        """The snapshot as plain dicts, or None on miss/corruption.
+        """The snapshot dict, or None on miss/corruption.
 
-        Returns ``{"center_of", "dist", "parent", "f_edges"}`` with the
-        same Python shapes the decomposition exposes (``parent`` maps
-        centers to None, ``f_edges`` is a sorted (u, v) list).
+        Returns exactly the :func:`~repro.decomposition.pipeline.
+        ldc_snapshot` shape -- ``parent`` maps centers to None,
+        ``f_edges`` is the sorted (u, v) list, ``metrics`` the original
+        int construction meters -- so consumers cannot tell a load from
+        a fresh computation.
         """
         identity = decomposition_identity(scenario, size, derived_seed,
                                           algorithm)
@@ -106,7 +125,10 @@ class DecompositionStore:
             dist = arrays["dist"].tolist()
             parent = arrays["parent"].tolist()
             edges = arrays["f_edges"]
-            n = int(manifest["decomposition"]["n"])
+            meta = manifest["decomposition"]
+            n = int(meta["n"])
+            metrics = {name: int(meta["metrics"][name])
+                       for name in _METRIC_FIELDS}
             if not (len(center) == len(dist) == len(parent) == n
                     and edges.ndim == 2 and edges.shape[1:] == (2,)):
                 raise ValueError("decomposition arrays inconsistent")
@@ -120,6 +142,10 @@ class DecompositionStore:
             "parent": {v: (None if parent[v] < 0 else parent[v])
                        for v in range(n)},
             "f_edges": [tuple(edge) for edge in edges.tolist()],
+            "metrics": metrics,
+            "beta": meta["beta"],
+            "clusters": int(meta["clusters"]),
+            "n": n,
         }
 
     def contains(self, scenario: str, size: int, derived_seed: int,
@@ -128,5 +154,67 @@ class DecompositionStore:
             DECOMPOSITION_FAMILY,
             decomposition_identity(scenario, size, derived_seed, algorithm))
 
+    # ------------------------------------------------------------------
+    # Inventory / maintenance (delegates, decomposition-family scoped)
+    # ------------------------------------------------------------------
     def ls(self) -> List[ArtifactEntry]:
         return self.artifacts.ls(DECOMPOSITION_KIND)
+
+    def stat(self) -> Dict[str, Any]:
+        return self.artifacts.stat(DECOMPOSITION_KIND)
+
+    def gc(self, keep_last: Optional[int] = None,
+           max_bytes: Optional[int] = None) -> List[ArtifactEntry]:
+        return self.artifacts.gc(keep_last=keep_last, max_bytes=max_bytes,
+                                 kind=DECOMPOSITION_KIND)
+
+
+def warm_decompositions(store: DecompositionStore, scenarios, *,
+                        sizes=None, seeds=(0,)) -> Dict[str, int]:
+    """Pre-build and publish decomposition snapshots (``repro store warm
+    --family decompositions``).
+
+    For every scenario x size x seed, each *distinct* decomposition
+    algorithm among the scenario's bound consumers (the ``ldc``
+    producer plus the cover/spanner/hierarchy cells all name ``ldc``)
+    is built once and published.  The scenario graph is loaded from the
+    graph family at the same store root when a snapshot exists and
+    built once otherwise, mirroring :func:`repro.store.oracles.
+    warm_oracles`.  Returns publish/skip counts.
+    """
+    from repro.runner.decomposition_cache import compute_snapshot
+    from repro.scenarios import get_binding
+    from repro.store.graphs import GraphStore
+
+    graphs = GraphStore(store.root)
+    published = skipped = 0
+    for scenario in scenarios:
+        algorithms = []
+        for algorithm in scenario.algorithms:
+            producer = get_binding(algorithm).decomposition
+            if producer is not None and producer not in algorithms:
+                algorithms.append(producer)
+        if not algorithms:
+            continue
+        run_sizes = ([scenario.default_size] if sizes is None
+                     else list(sizes))
+        for size in run_sizes:
+            for seed in seeds:
+                derived = scenario.seed_for(size, seed)
+                graph = None
+                for algorithm in algorithms:
+                    if store.contains(scenario.name, size, derived,
+                                      algorithm):
+                        skipped += 1
+                        continue
+                    if graph is None:
+                        graph = graphs.load(scenario.name, size, derived)
+                    if graph is None:
+                        graph = scenario.graph(size, seed=seed)
+                    snapshot = compute_snapshot(algorithm, graph, derived)
+                    if store.publish(scenario.name, size, derived,
+                                     algorithm, snapshot):
+                        published += 1
+                    else:
+                        skipped += 1
+    return {"published": published, "skipped": skipped}

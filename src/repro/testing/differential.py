@@ -44,6 +44,7 @@ class DifferentialRecord:
     wall_time: float = 0.0         # seconds spent building + running the cell
     graph_source: str = "built"    # where the graph came from: built/lru/store
     oracle_source: str = "none"    # baseline origin: computed/lru/store/none
+    decomposition_source: str = "none"  # input snapshot origin: same vocab
 
     @property
     def passed(self) -> bool:
@@ -69,6 +70,7 @@ class DifferentialRecord:
             "wall_time": self.wall_time,
             "graph_source": self.graph_source,
             "oracle_source": self.oracle_source,
+            "decomposition_source": self.decomposition_source,
         }
 
     def canonical_dict(self) -> Dict[str, Any]:
@@ -79,8 +81,9 @@ class DifferentialRecord:
         identity the run store's resume logic and the ``--compare``
         regression diff are built on.  The excluded fields are named by
         ``repro.runner.jobs.NONDETERMINISTIC_FIELDS`` (``wall_time``
-        plus the ``graph_source``/``oracle_source`` provenance), shared
-        with ``CellResult.canonical_record``.
+        plus the ``graph_source``/``oracle_source``/
+        ``decomposition_source`` provenance), shared with
+        ``CellResult.canonical_record``.
         """
         from repro.runner.jobs import NONDETERMINISTIC_FIELDS
 
@@ -124,10 +127,15 @@ def run_differential(scenario: Scenario | str, algorithm: str, *,
     oracle store -> compute-and-publish), keyed by the oracle name and
     its source revision on top of the cell coordinates, so cells skip
     recomputing their ground truth the same way they skip rebuilding
-    their graph.  Both chains' answers are recorded on the record
-    (``graph_source`` / ``oracle_source`` -- nondeterministic fields:
-    provenance, not payload).
+    their graph.  Bindings that consume a decomposition snapshot
+    (``binding.decomposition``) resolve it through the third chain,
+    :mod:`repro.runner.decomposition_cache`, so the staged pipeline's
+    downstream cells skip re-running MPX.  All three chains' answers
+    are recorded on the record (``graph_source`` / ``oracle_source`` /
+    ``decomposition_source`` -- nondeterministic fields: provenance,
+    not payload).
     """
+    from repro.runner.decomposition_cache import binding_decomposition_source
     from repro.runner.graph_cache import scenario_graph_source
     from repro.runner.oracle_cache import binding_oracle_source
 
@@ -144,7 +152,13 @@ def run_differential(scenario: Scenario | str, algorithm: str, *,
     graph, graph_source = scenario_graph_source(scenario, size, seed=seed)
     oracle, oracle_source = binding_oracle_source(scenario, size, seed,
                                                   binding, graph)
-    result = binding.run(graph, derived_seed, oracle=oracle)
+    snapshot, decomposition_source = binding_decomposition_source(
+        scenario, size, seed, binding, graph)
+    if binding.decomposition is not None:
+        result = binding.run(graph, derived_seed, oracle=oracle,
+                             decomposition=snapshot)
+    else:
+        result = binding.run(graph, derived_seed, oracle=oracle)
     wall_time = time.perf_counter() - start
     envelope = binding.envelope.evaluate(graph.n, graph.m,
                                          slack=scenario.envelope_slack)
@@ -156,7 +170,8 @@ def run_differential(scenario: Scenario | str, algorithm: str, *,
         ok=result.ok, envelope_ok=envelope_ok, checks=result.checks,
         metrics=result.metrics, envelope=envelope, detail=result.detail,
         derived_seed=derived_seed, wall_time=wall_time,
-        graph_source=graph_source, oracle_source=oracle_source)
+        graph_source=graph_source, oracle_source=oracle_source,
+        decomposition_source=decomposition_source)
 
 
 def record_from_dict(payload: Dict[str, Any]) -> DifferentialRecord:

@@ -33,14 +33,16 @@ def scenario_size(request):
 
 @pytest.fixture(autouse=True)
 def _graph_cache_isolation():
-    """Reset the process-wide graph cache chain after every test.
+    """Reset the process-wide graph and decomposition chains per test.
 
-    The chain (LRU size, connected store, exported env vars) is
-    deliberately process-global so pool workers inherit it; in the test
-    process that would leak one test's store into the next.
+    The chains (LRU size, connected store, exported env vars) are
+    deliberately process-global so pool workers inherit them; in the
+    test process that would leak one test's store into the next.
     """
     yield
-    from repro.runner import graph_cache
+    from repro.runner import decomposition_cache, graph_cache
 
     graph_cache.configure(graph_cache.DEFAULT_MAXSIZE)
     graph_cache.configure_store(None)
+    decomposition_cache.configure(decomposition_cache.DEFAULT_MAXSIZE)
+    decomposition_cache.configure_store(None)

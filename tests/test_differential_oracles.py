@@ -36,7 +36,8 @@ def test_matrix_covers_five_algorithm_families():
 def test_run_scenario_runs_every_binding():
     records = run_scenario("dense-gnp")
     assert [r.algorithm for r in records] == [
-        "apsp-unweighted", "bfs-collection", "cover", "ldc"]
+        "apsp-unweighted", "bfs-collection", "cover", "ldc",
+        "mpx-cover", "ldc-spanner", "bs-hierarchy"]
     assert all(r.scenario == "dense-gnp" for r in records)
 
 

@@ -20,7 +20,8 @@ Pins the tentpole contract:
   manifests, and values that decode to garbage are quarantined and
   recomputed;
 * **family registry** -- identity schemas are validated, families
-  enumerate generically (including the decomposition stub);
+  enumerate generically (including the decomposition family, whose
+  pipeline behavior lives in ``tests/test_decomposition_pipeline.py``);
 * **engine integration** -- manifests record the oracle cache/store
   settings plus per-family store hit/miss counters, and warm parallel
   sweeps serve every baseline from disk.
@@ -384,13 +385,14 @@ def test_warm_oracles_then_family_scoped_gc(tmp_path):
     scenarios = [get_scenario(n) for n in ("path", "cycle", "dense-gnp")]
     counts = warm_oracles(store, scenarios)
     # path/cycle: one shared unweighted-apsp each; dense-gnp adds the
-    # ldc-reference on top of its unweighted-apsp.
-    assert counts == {"published": 4, "skipped": 0}
+    # ldc-reference and the staged-pipeline references (mpx-cover,
+    # ldc-spanner, bs-hierarchy) on top of its unweighted-apsp.
+    assert counts == {"published": 7, "skipped": 0}
     assert warm_oracles(store, [get_scenario("path")]) == {
         "published": 0, "skipped": 1}
-    assert len(store.ls()) == 4
+    assert len(store.ls()) == 7
     assert store.stat()["families"] == {
-        "oracles": {"entries": 4,
+        "oracles": {"entries": 7,
                     "bytes": sum(e.nbytes for e in store.ls())}}
 
     # A graph snapshot in the same root survives oracle-scoped gc.
@@ -400,7 +402,7 @@ def test_warm_oracles_then_family_scoped_gc(tmp_path):
                    scenario.seed_for(scenario.default_size, 0),
                    scenario.graph())
     removed = store.gc(keep_last=1)
-    assert len(removed) == 3
+    assert len(removed) == 6
     assert len(store.ls()) == 1 and len(graphs.ls()) == 1
 
 
@@ -415,24 +417,24 @@ def test_warm_skips_scenarios_without_oracles(tmp_path):
 
 
 # ---------------------------------------------------------------------------
-# The decomposition stub family
+# The decomposition family (chain + pipeline coverage lives in
+# tests/test_decomposition_pipeline.py)
 # ---------------------------------------------------------------------------
 
-def test_decomposition_stub_round_trip(tmp_path):
+def test_decomposition_snapshot_round_trip(tmp_path):
     from repro.decomposition.ldc import build_ldc
+    from repro.decomposition.pipeline import ldc_snapshot
 
     scenario = get_scenario("grid")
     derived = scenario.seed_for(16, 0)
     graph = scenario.graph(16)
-    ldc = build_ldc(graph, seed=derived)
+    snapshot = ldc_snapshot(build_ldc(graph, seed=derived))
     store = DecompositionStore(tmp_path)
-    assert store.publish("grid", 16, derived, "ldc", ldc)
+    assert store.publish("grid", 16, derived, "ldc", snapshot)
     assert store.contains("grid", 16, derived, "ldc")
-    snapshot = store.load("grid", 16, derived, "ldc")
-    assert snapshot["center_of"] == ldc.center_of
-    assert snapshot["dist"] == ldc.clustering.dist
-    assert snapshot["parent"] == ldc.parent
-    assert snapshot["f_edges"] == sorted(ldc.f_edges())
+    loaded = store.load("grid", 16, derived, "ldc")
+    assert loaded == snapshot
+    assert loaded is not snapshot  # a rebuilt value, not the instance
     # The family shows up in the generic inventory alongside the rest.
     stats = ArtifactStore(tmp_path).stat()
     assert set(stats["families"]) == {"decompositions"}
@@ -486,9 +488,10 @@ def test_parallel_sweep_workers_share_the_oracle_store(tmp_path):
                          oracle_store_dir=store_dir, oracle_cache_size=0)
         assert cold.ok
         store = OracleStore(store_dir)
-        # dense-gnp: unweighted-apsp + ldc-reference; power-law:
+        # dense-gnp: unweighted-apsp + ldc-reference + the staged
+        # mpx-cover/ldc-spanner/bs-hierarchy references; power-law:
         # unweighted-apsp.  (cover binds no oracle.)
-        assert len(store.ls()) == 3
+        assert len(store.ls()) == 6
         warm_run = run_sweep(["dense-gnp", "power-law"], workers=2,
                              graph_store_dir=store_dir, graph_cache_size=0,
                              oracle_store_dir=store_dir,
