@@ -1,0 +1,96 @@
+"""Measure the bench-history plane itself: append / read / gate cost.
+
+The perf-history store (:mod:`repro.store.bench_history`) sits on the
+hot path of every ``repro bench`` run and every completed sweep, and
+``repro bench gate`` runs on every CI build -- so the observability
+plane gets the same treatment as the planes it observes:
+
+* **append throughput** -- publishing N sequential records of one
+  stream (each append scans the stream for its next sequence, then
+  rides the atomic write-then-rename byte layer);
+* **history scan** -- decoding the full stream back out of entry
+  manifests (no array loads by construction);
+* **gate latency** -- the rolling-window median comparison itself.
+
+Under pytest the same measurement runs once and sanity-checks the gate
+verdicts in both directions (parity passes, an injected 2x+ slowdown
+fails) -- the same check ``repro bench gate --smoke`` performs in CI.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_history_gate.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+
+RECORDS = 50
+
+
+def _measure():
+    from repro.store.bench_history import BenchHistoryStore, rolling_gate
+
+    timings = {}
+    with tempfile.TemporaryDirectory() as tmp:
+        store = BenchHistoryStore(tmp)
+        t0 = time.perf_counter()
+        for i in range(RECORDS):
+            store.append("bench", "history-bench", host="bench-host",
+                         revision=f"rev-{i}",
+                         timings={"step": 1.0 + 0.01 * (i % 5),
+                                  "fast": 1e-6})
+        timings["append_total"] = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        records = store.history(kind="bench", name="history-bench",
+                                host="bench-host")
+        timings["history_scan"] = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        parity = rolling_gate(records)
+        timings["gate"] = time.perf_counter() - t0
+
+        store.append("bench", "history-bench", host="bench-host",
+                     revision="rev-slow", timings={"step": 9.9})
+        regression = rolling_gate(store.history(kind="bench",
+                                                name="history-bench",
+                                                host="bench-host"))
+    return timings, len(records), parity, regression
+
+
+def run():
+    timings, count, parity, regression = _measure()
+    per_append = timings["append_total"] / RECORDS
+    print(f"appended {RECORDS} records in {timings['append_total']:.3f}s "
+          f"({per_append * 1e3:.2f}ms each)")
+    print(f"scanned {count} records in {timings['history_scan'] * 1e3:.2f}ms")
+    print(f"gate verdict in {timings['gate'] * 1e6:.0f}us: "
+          f"parity {'ok' if parity.ok else 'FAIL'}, "
+          f"regression {'caught' if not regression.ok else 'MISSED'}")
+    return timings
+
+
+def test_history_gate_bench(benchmark):
+    from conftest import run_once
+
+    from repro.analysis import record_extra_info
+
+    timings, count, parity, regression = run_once(benchmark, _measure)
+    assert count == RECORDS
+    # Parity must pass; the sub-noise-floor label must be skipped, not
+    # gated; the injected 9.9s step (vs ~1.0s median) must fail.
+    assert parity.ok
+    assert any("noise floor" in reason for reason in parity.skipped)
+    assert not regression.ok
+    assert [row.metric for row in regression.regressions] == ["step"]
+    record_extra_info(benchmark, "",
+                      append_ms=round(timings["append_total"] * 1e3
+                                      / RECORDS, 3),
+                      scan_ms=round(timings["history_scan"] * 1e3, 3),
+                      gate_us=round(timings["gate"] * 1e6, 1))
+
+
+if __name__ == "__main__":
+    run()

@@ -1,13 +1,16 @@
 """Growth-exponent estimation for the experiment harness.
 
 The paper's claims are asymptotic (Õ(n²) messages, Õ(n^{2-eps}) rounds,
-...).  The benchmarks measure counts over a sweep of n and fit the
-exponent alpha in  count ~ C * n^alpha * polylog(n)  by least squares on
-log-log data, optionally dividing out a polylog factor first.  With the
-small n a Python simulator affords, fitted exponents carry slack; the
-EXPERIMENTS.md tables report them with that caveat and the benches
+...).  The measurement surfaces -- the scaling scripts under
+``benchmarks/`` and the asymptotics checks in ``tests/`` -- sweep n,
+collect the meter counts, and fit the exponent alpha in
+``count ~ C * n**alpha * polylog(n)`` by least squares on log-log data,
+optionally dividing out a polylog factor first.  With the small n a
+Python simulator affords, fitted exponents carry slack, so consumers
 assert only coarse separations (e.g. the simulated message exponent is
-closer to 2 than the baseline's is to 3).
+closer to 2 than the baseline's is to 3) rather than exact values;
+absolute timings are trended separately by the ``repro bench``
+registry and its bench-history gate.
 """
 
 from __future__ import annotations

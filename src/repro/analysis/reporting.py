@@ -1,8 +1,16 @@
-"""Plain-text tables for the benchmark harness and EXPERIMENTS.md.
+"""Plain-text tables shared by every reporting surface of the repo.
 
-Each benchmark prints one table in the same layout it is recorded with
-in EXPERIMENTS.md, so re-running ``pytest benchmarks/ --benchmark-only``
-regenerates the document's data verbatim.
+:func:`format_table` is the one table renderer: the ``repro`` CLI uses
+it for scenario/sweep summaries, ``repro store ls``/``stat``, the
+``repro bench`` registry's per-benchmark timing tables, the
+``repro bench history``/``report``/``gate`` perf-trend views, and the
+``repro runs report`` telemetry timeline.  Keeping a single layout
+(right-aligned columns, ``.3g`` floats, ``.0f`` for large or integral
+values) makes outputs from different subcommands diff cleanly.
+
+:func:`record_extra_info` attaches a rendered table plus headline
+scalars to pytest-benchmark output for the standalone scripts under
+``benchmarks/`` (run via ``pytest benchmarks/ --benchmark-only``).
 """
 
 from __future__ import annotations

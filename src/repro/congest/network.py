@@ -459,11 +459,17 @@ class Network:
                     f"exceeded max_rounds={max_rounds}; likely livelock")
 
             active = set(inboxes)
+            # `woken` feeds tracer.record_wake only; skip the extra
+            # bookkeeping entirely when untraced (tracing must stay
+            # zero-overhead when absent).
+            woken = set() if self.tracer is not None else None
             while wake_heap and wake_heap[0][0] <= self.round:
                 rnd, v = heapq.heappop(wake_heap)
                 if wake_pending.get(v) == rnd:
                     del wake_pending[v]
                     active.add(v)
+                    if woken is not None:
+                        woken.add(v)
 
             acted = False
             for v in sorted(active):
@@ -471,6 +477,8 @@ class Network:
                 if api.halted:
                     continue
                 acted = True
+                if woken is not None and v in woken:
+                    self.tracer.record_wake(self.round, v)
                 api._sent_to = set()
                 api._wake = None
                 algos[v].on_round(api, self.round, inboxes.get(v, []))

@@ -31,23 +31,35 @@ class Tracer:
     Parameters
     ----------
     max_events:
-        Hard cap; recording stops (silently) beyond it so that tracing
-        a long run cannot exhaust memory.
+        Hard cap so that tracing a long run cannot exhaust memory;
+        events wanted beyond it are counted in ``dropped`` (surfaced as
+        :attr:`truncated`) instead of vanishing silently.
     node_filter:
         Optional predicate on node ids; events involving only filtered-
-        out nodes are dropped.
+        out nodes are dropped (these do not count as truncation -- the
+        caller asked for them to be excluded).
     """
 
     max_events: int = 100_000
     node_filter: Optional[Callable[[int], bool]] = None
     events: List[TraceEvent] = field(default_factory=list)
+    dropped: int = 0    # events wanted but lost to the max_events cap
+
+    @property
+    def truncated(self) -> bool:
+        """True when the ``max_events`` cap lost at least one event."""
+        return self.dropped > 0
 
     def _want(self, *nodes: Optional[int]) -> bool:
-        if len(self.events) >= self.max_events:
+        # Filter first: filtered-out events are exclusions, not
+        # truncation, and must not inflate the dropped count.
+        if self.node_filter is not None and not any(
+                n is not None and self.node_filter(n) for n in nodes):
             return False
-        if self.node_filter is None:
-            return True
-        return any(n is not None and self.node_filter(n) for n in nodes)
+        if len(self.events) >= self.max_events:
+            self.dropped += 1
+            return False
+        return True
 
     def record_send(self, rnd: int, src: int, dst: int,
                     payload: Any) -> None:
@@ -59,6 +71,12 @@ class Tracer:
         if self._want(node):
             self.events.append(TraceEvent(round=rnd, kind="halt",
                                           node=node, payload=output))
+
+    def record_wake(self, rnd: int, node: int) -> None:
+        """A node activated by its scheduled wake-up (not by a message)."""
+        if self._want(node):
+            self.events.append(TraceEvent(round=rnd, kind="wake",
+                                          node=node))
 
     def sends(self) -> List[TraceEvent]:
         return [e for e in self.events if e.kind == "send"]
@@ -77,13 +95,20 @@ class Tracer:
 def format_trace(tracer: Tracer, *, limit: int = 200) -> str:
     """Human-readable rendering, grouped by round."""
     lines: List[str] = []
+
+    def footer() -> str:
+        if tracer.truncated:
+            lines.append(f"(trace truncated: {tracer.dropped} event(s) "
+                         f"dropped beyond max_events={tracer.max_events})")
+        return "\n".join(lines)
+
     count = 0
     for rnd, events in sorted(tracer.rounds().items()):
         lines.append(f"round {rnd}:")
         for event in events:
             if count >= limit:
                 lines.append(f"  ... ({len(tracer.events) - count} more)")
-                return "\n".join(lines)
+                return footer()
             count += 1
             if event.kind == "send":
                 lines.append(f"  {event.node} -> {event.peer}: "
@@ -91,4 +116,6 @@ def format_trace(tracer: Tracer, *, limit: int = 200) -> str:
             elif event.kind == "halt":
                 lines.append(f"  {event.node} halts "
                              f"(output={event.payload!r})")
-    return "\n".join(lines)
+            elif event.kind == "wake":
+                lines.append(f"  {event.node} wakes")
+    return footer()

@@ -33,6 +33,7 @@ class SweepOutcome:
     run: Optional[Run] = None      # the persisted run, if a store was used
     resumed: bool = False          # True when an incomplete run was continued
     restored_keys: Set[str] = field(default_factory=set)  # resume-skipped
+    history: Optional[Any] = None  # BenchHistoryRecord appended on completion
 
     @property
     def run_id(self) -> Optional[str]:
@@ -51,27 +52,13 @@ class SweepOutcome:
 
     def summary(self) -> Dict[str, Any]:
         by_status: Dict[str, int] = {}
-        by_source: Dict[str, int] = {}
-        by_oracle: Dict[str, int] = {}
-        by_decomposition: Dict[str, int] = {}
         for result in self.results:
             by_status[result.status] = by_status.get(result.status, 0) + 1
-            # Graph/oracle/decomposition provenance is only meaningful
-            # for cells executed *this* invocation: restored records
-            # carry the source (and cache configuration) of the run
-            # that produced them.
-            if (result.record is not None
-                    and result.key not in self.restored_keys):
-                source = result.record.get("graph_source", "built")
-                by_source[source] = by_source.get(source, 0) + 1
-                oracle = result.record.get("oracle_source", "none")
-                if oracle != "none":  # cells without a baseline: no row
-                    by_oracle[oracle] = by_oracle.get(oracle, 0) + 1
-                decomposition = result.record.get("decomposition_source",
-                                                  "none")
-                if decomposition != "none":  # non-pipeline cells: no row
-                    by_decomposition[decomposition] = \
-                        by_decomposition.get(decomposition, 0) + 1
+        # Graph/oracle/decomposition provenance is only meaningful for
+        # cells executed *this* invocation: restored records carry the
+        # source (and cache configuration) of the run that produced
+        # them.
+        counts = provenance_counts(self.results, skip=self.restored_keys)
         return {
             "run_id": self.run_id,
             "cells": len(self.results),
@@ -81,9 +68,9 @@ class SweepOutcome:
             "passed": sum(1 for r in self.results if r.passed),
             "failed": sum(1 for r in self.results if not r.passed),
             "statuses": by_status,
-            "graph_sources": by_source,
-            "oracle_sources": by_oracle,
-            "decomposition_sources": by_decomposition,
+            "graph_sources": counts["graphs"],
+            "oracle_sources": counts["oracles"],
+            "decomposition_sources": counts["decompositions"],
             # Wall time spent executing cells *this* invocation;
             # restored cells' recorded time (from the runs that actually
             # paid it) only counts toward the cumulative figure.
@@ -93,19 +80,25 @@ class SweepOutcome:
         }
 
 
-def _source_counts(executed: Sequence[CellResult]) -> Dict[str, Any]:
-    """Per-family provenance counts over one invocation's cell records.
+def provenance_counts(results: Sequence[CellResult], *,
+                      skip: Optional[Set[str]] = None) -> Dict[str, Any]:
+    """Per-family provenance counts over a set of cell results.
 
-    ``"none"`` rows -- cells with no baseline / no input decomposition
-    -- are dropped, matching :meth:`SweepOutcome.summary`: the manifest
-    and the summary report the same sweep the same way (graphs have no
-    ``"none"`` state, every cell has a graph).
+    The *single* source of the counting rule, shared by
+    :meth:`SweepOutcome.summary` and the manifest ``store_counters``
+    stamp (the two copies drifted once -- the PR 6 ``"none"``-row bug):
+    cells without a record (timeouts, errors) or whose key is in
+    ``skip`` (resume-restored cells, whose provenance belongs to the
+    invocation that executed them) are not counted, and ``"none"`` rows
+    -- cells with no baseline / no input decomposition -- are dropped
+    (graphs have no ``"none"`` state, every cell has a graph).
     """
+    skip = frozenset() if skip is None else skip
     graphs: Dict[str, int] = {}
     oracles: Dict[str, int] = {}
     decompositions: Dict[str, int] = {}
-    for result in executed:
-        if result.record is None:
+    for result in results:
+        if result.record is None or result.key in skip:
             continue
         source = result.record.get("graph_source", "built")
         graphs[source] = graphs.get(source, 0) + 1
@@ -118,6 +111,11 @@ def _source_counts(executed: Sequence[CellResult]) -> Dict[str, Any]:
                 decompositions.get(decomposition, 0) + 1
     return {"graphs": graphs, "oracles": oracles,
             "decompositions": decompositions}
+
+
+def _source_counts(executed: Sequence[CellResult]) -> Dict[str, Any]:
+    """The manifest counter payload: provenance over executed cells."""
+    return provenance_counts(executed)
 
 
 def _merge_counts(base: Optional[Dict[str, Any]],
@@ -164,7 +162,9 @@ def run_sweep(names: Optional[Sequence[str]] = None, *,
               oracle_store_dir: "Optional[str]" = None,
               oracle_cache_size: Optional[int] = None,
               decomposition_store_dir: "Optional[str]" = None,
-              decomposition_cache_size: Optional[int] = None) -> SweepOutcome:
+              decomposition_cache_size: Optional[int] = None,
+              telemetry: bool = True,
+              bench_history_dir: "Optional[str]" = None) -> SweepOutcome:
     """Run (or resume) one sweep; see the module docstring.
 
     ``fresh=True`` always starts a new run directory even when an
@@ -188,6 +188,21 @@ def run_sweep(names: Optional[Sequence[str]] = None, *,
     invocations, so a resumed run's counters cover every invocation's
     executed cells, and stamped even when the invocation is interrupted
     mid-sweep.
+
+    ``telemetry`` (persisted runs only) writes the cell-lifecycle
+    timeline to ``telemetry.jsonl`` beside the records
+    (:mod:`repro.telemetry`); events flush as they happen, so an
+    interrupted sweep keeps its partial timeline and a resumed run
+    extends it.  Telemetry never touches ``records.jsonl`` -- canonical
+    cell records are byte-identical with it on or off.
+
+    ``bench_history_dir`` connects the perf-trend plane: when the run
+    *completes* (every planned cell recorded), one ``"sweep"`` record
+    -- wall times, cell counts, store hit/miss counters -- is appended
+    to the bench-history artifact family under that store root
+    (:mod:`repro.store.bench_history`), and surfaced as
+    ``outcome.history``.  ``None`` (the default) keeps programmatic
+    sweeps hermetic; the CLI wires it to the artifact-store root.
     """
     from repro.runner import decomposition_cache, graph_cache, oracle_cache
 
@@ -241,6 +256,22 @@ def run_sweep(names: Optional[Sequence[str]] = None, *,
 
     todo = [spec for spec in specs if spec.key not in cached]
 
+    # The telemetry timeline rides beside the records of persisted
+    # runs: strictly additive (its own file, flushed per event), so an
+    # interrupted sweep keeps its partial timeline and the canonical
+    # records stay byte-identical telemetry on or off.
+    log = None
+    if run is not None and telemetry:
+        from repro.telemetry import RunTelemetry, telemetry_path
+
+        log = RunTelemetry(telemetry_path(run.path))
+        log.sweep_begin(run_id=run.run_id, revision=run.revision,
+                        resumed=resumed, planned=len(specs),
+                        restored=len(cached), todo=len(todo),
+                        workers=workers, timeout=timeout, retries=retries)
+        for spec in todo:
+            log.cell_scheduled(spec)
+
     # Completed results also accumulate through the persist callback
     # (not just run_cells' return value) so the counter stamp below
     # covers whatever actually ran even when the invocation is
@@ -251,12 +282,18 @@ def run_sweep(names: Optional[Sequence[str]] = None, *,
         completed.append(result)
         if run is not None:
             run.append(result)
+        if log is not None:
+            log.cell_completed(result)
         if on_result is not None:
             on_result(result)
 
+    interrupted = True
     try:
         executed = run_cells(todo, workers=workers, timeout=timeout,
-                             retries=retries, on_result=persist)
+                             retries=retries, on_result=persist,
+                             on_start=None if log is None
+                             else log.cell_started)
+        interrupted = False
     finally:
         if run is not None:
             # Cache-efficacy provenance: how many graphs / baselines /
@@ -267,11 +304,48 @@ def run_sweep(names: Optional[Sequence[str]] = None, *,
             run.update_manifest({"store_counters": _merge_counts(
                 run.manifest.get("store_counters"),
                 _source_counts(completed))})
+        if log is not None:
+            log.sweep_end(executed=len(completed), restored=len(cached),
+                          interrupted=interrupted)
+            log.close()
 
     merged = dict(cached)
     for result in executed:
         merged[result.key] = result
     ordered = [merged[spec.key] for spec in specs if spec.key in merged]
-    return SweepOutcome(results=ordered, executed=len(executed),
-                        skipped=len(cached), run=run, resumed=resumed,
-                        restored_keys=set(cached))
+    outcome = SweepOutcome(results=ordered, executed=len(executed),
+                           skipped=len(cached), run=run, resumed=resumed,
+                           restored_keys=set(cached))
+    if (run is not None and bench_history_dir is not None
+            and run.is_complete()):
+        outcome.history = _append_sweep_history(outcome, bench_history_dir)
+    return outcome
+
+
+def _append_sweep_history(outcome: SweepOutcome,
+                          bench_history_dir: str):
+    """One perf-trend record per *completed* run (see bench_history).
+
+    The record is named by the sweep's params key, so re-running the
+    same matrix (any revision, same host class) extends one trend
+    stream the rolling gate can compare along; the revision stamped is
+    the run's own, not the current checkout's.
+    """
+    from repro.store.bench_history import KIND_SWEEP, BenchHistoryStore
+
+    run = outcome.run
+    summary = outcome.summary()
+    name = f"sweep-{run.manifest['params_key'][:12]}"
+    return BenchHistoryStore(bench_history_dir).append(
+        KIND_SWEEP, name,
+        timings={"wall_time": summary["wall_time"],
+                 "wall_time_total": summary["wall_time_total"]},
+        counters=run.manifest.get("store_counters") or {},
+        revision=run.revision,
+        extra={"run_id": run.run_id,
+               "params": run.manifest.get("params"),
+               "cells": summary["cells"],
+               "executed": summary["executed"],
+               "skipped": summary["skipped"],
+               "passed": summary["passed"],
+               "failed": summary["failed"]})

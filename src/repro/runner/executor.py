@@ -31,6 +31,7 @@ from typing import Callable, List, Optional, Sequence
 from repro.runner.jobs import DONE, ERROR, TIMEOUT, CellResult, JobSpec
 
 OnResult = Callable[[CellResult], None]
+OnStart = Callable[[JobSpec, int], None]
 
 
 class CellTimeout(Exception):
@@ -114,7 +115,8 @@ def _merge_attempts(result: CellResult,
 def run_cells(specs: Sequence[JobSpec], *, workers: int = 1,
               timeout: Optional[float] = None,
               retries: int = 0,
-              on_result: Optional[OnResult] = None) -> List[CellResult]:
+              on_result: Optional[OnResult] = None,
+              on_start: Optional[OnStart] = None) -> List[CellResult]:
     """Execute every spec; return results in submitted spec order.
 
     ``retries`` is the per-cell retry budget: a cell whose attempt ends
@@ -124,6 +126,13 @@ def run_cells(specs: Sequence[JobSpec], *, workers: int = 1,
     Only the final outcome of a cell reaches ``on_result`` and the
     store -- intermediate failures are discarded, so resume and compare
     semantics are unchanged.
+
+    ``on_start`` fires in the submitting process as ``(spec, attempt)``
+    each time an attempt is dispatched: once per cell as it is first
+    submitted (attempt 1) and again on every retry re-queue -- the hook
+    the telemetry plane uses for honest ``started``/``retried`` events
+    in both the in-process and the pool mode.  Like ``on_result``, an
+    exception from the hook aborts the sweep.
 
     ``on_result`` fires once per cell *as it completes* (out of order
     under ``workers>1``) -- the hook the run store uses to persist each
@@ -147,10 +156,14 @@ def run_cells(specs: Sequence[JobSpec], *, workers: int = 1,
     if workers == 1:
         results = []
         for spec in specs:
+            if on_start is not None:
+                on_start(spec, 1)
             result = execute_cell(spec, timeout)
             attempt = 1
             while result.status != DONE and attempt <= retries:
                 attempt += 1
+                if on_start is not None:
+                    on_start(spec, attempt)
                 result = _merge_attempts(execute_cell(spec, timeout),
                                          result, attempt)
             if on_result is not None:
@@ -162,9 +175,12 @@ def run_cells(specs: Sequence[JobSpec], *, workers: int = 1,
     attempts = [1] * len(specs)
     previous: List[Optional[CellResult]] = [None] * len(specs)
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        pending = {pool.submit(execute_cell, spec, timeout): i
-                   for i, spec in enumerate(specs)}
+        pending = {}
         try:
+            for i, spec in enumerate(specs):
+                if on_start is not None:
+                    on_start(spec, 1)
+                pending[pool.submit(execute_cell, spec, timeout)] = i
             while pending:
                 finished, _ = wait(pending, return_when=FIRST_COMPLETED)
                 for future in finished:
@@ -184,6 +200,8 @@ def run_cells(specs: Sequence[JobSpec], *, workers: int = 1,
                         # final outcome is recorded.
                         attempts[index] += 1
                         previous[index] = result
+                        if on_start is not None:
+                            on_start(specs[index], attempts[index])
                         pending[pool.submit(execute_cell, specs[index],
                                             timeout)] = index
                         continue

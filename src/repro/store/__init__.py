@@ -18,7 +18,12 @@ families** over a shared byte layer:
   revision)``, so cells skip recomputing their ground truth;
 * :mod:`repro.store.decompositions` -- LDC decomposition snapshots
   keyed by ``(scenario, size, derived seed, algorithm)``, the input
-  artifact of the staged cover/spanner/hierarchy cells.
+  artifact of the staged cover/spanner/hierarchy cells;
+* :mod:`repro.store.bench_history` -- append-only perf-history records
+  keyed by ``(kind, name, host class, revision, sequence)``: every
+  ``repro bench`` invocation and completed sweep appends timings,
+  speedups, and store hit rates, and ``repro bench gate`` compares the
+  newest record against the median of the last K same-host-class ones.
 
 Consumers: the fall-through chains in :mod:`repro.runner.graph_cache`,
 :mod:`repro.runner.oracle_cache`, and :mod:`repro.runner.
@@ -56,13 +61,23 @@ from repro.store.decompositions import (
     decomposition_key,
     warm_decompositions,
 )
+from repro.store.bench_history import (
+    BENCH_HISTORY_FAMILY,
+    BenchHistoryRecord,
+    BenchHistoryStore,
+    GateVerdict,
+    history_key,
+    host_class,
+    rolling_gate,
+)
 
 __all__ = [
     "ArtifactEntry", "ArtifactFamily", "ArtifactStore",
+    "BENCH_HISTORY_FAMILY", "BenchHistoryRecord", "BenchHistoryStore",
     "DECOMPOSITION_FAMILY", "DEFAULT_STORE_DIR", "DecompositionStore",
-    "GRAPH_FAMILY", "GraphStore", "ORACLE_FAMILY", "OracleStore",
-    "SCHEMA_VERSION", "all_families", "artifact_key",
+    "GRAPH_FAMILY", "GateVerdict", "GraphStore", "ORACLE_FAMILY",
+    "OracleStore", "SCHEMA_VERSION", "all_families", "artifact_key",
     "decomposition_key", "family_names", "get_family", "graph_key",
-    "oracle_key", "register_family", "warm", "warm_decompositions",
-    "warm_oracles",
+    "history_key", "host_class", "oracle_key", "register_family",
+    "rolling_gate", "warm", "warm_decompositions", "warm_oracles",
 ]

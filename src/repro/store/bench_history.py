@@ -1,0 +1,380 @@
+"""The bench-history artifact family: append-only perf trend records.
+
+Every ``repro bench`` invocation and every completed persisted sweep
+appends one record to this family, keyed by ``(kind, name, host class,
+git revision, sequence)``:
+
+* ``kind`` -- the record stream: ``"bench"`` for registry benchmarks,
+  ``"sweep"`` for completed engine sweeps;
+* ``name`` -- the benchmark name or the sweep's params-derived name,
+  what makes records of one workload comparable;
+* ``host`` -- the host class (:func:`host_class`): OS, machine
+  architecture, and python minor version.  Trend comparisons only make
+  sense within one host class, and the rolling gate never crosses it;
+* ``revision`` -- the git revision the numbers were measured at (dirty
+  trees carry a diff-hash suffix, see
+  :func:`repro.runner.store.git_revision`);
+* ``sequence`` -- a per-``(kind, name, host)`` monotone counter.  The
+  sequence is what makes the family *append-only on top of an
+  immutable content-addressed store*: :meth:`BenchHistoryStore.append`
+  publishes at the next free sequence and, when the atomic-publish
+  byte layer reports a lost race (another CI shard grabbed that
+  sequence first), bumps and retries -- no locks, no torn records.
+
+The payload (timings, speedups, store hit/miss counters) lives in the
+entry manifest as canonical JSON -- python floats round-trip exactly
+through ``json`` -- so listing history is a manifest scan, no array
+loads.  The family still rides the byte layer's atomic
+write-then-rename publication and quarantine semantics.
+
+:func:`rolling_gate` is the CI regression check built on top: compare
+the newest record's timings against the *median of the last K*
+same-stream records instead of one hand-picked parent run
+(``repro bench gate`` in the CLI).
+"""
+
+from __future__ import annotations
+
+import platform
+import statistics
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.store.artifacts import DEFAULT_STORE_DIR, ArtifactStore
+from repro.store.families import ArtifactFamily, register_family
+
+BENCH_HISTORY_KIND = "bench-history"
+
+BENCH_HISTORY_FAMILY = register_family(ArtifactFamily(
+    kind=BENCH_HISTORY_KIND,
+    key_fields=("kind", "name", "host", "revision", "sequence"),
+    schema_version=1,
+    description="append-only perf-history records (timings, speedups, "
+                "store hit rates) for the rolling-window regression gate",
+))
+
+# Streams recorded today.
+KIND_BENCH = "bench"   # one record per `repro bench` benchmark run
+KIND_SWEEP = "sweep"   # one record per completed persisted sweep
+
+# How many sequence bumps append() tolerates before giving up: each
+# bump means another writer published concurrently, so exhausting this
+# would take hundreds of shards racing within one publication window.
+_APPEND_RETRIES = 256
+
+
+def history_key(kind: str, name: str, host: str, revision: str,
+                sequence: int) -> str:
+    """The content address of one history record."""
+    return BENCH_HISTORY_FAMILY.key(BENCH_HISTORY_FAMILY.identity(
+        kind=kind, name=name, host=host, revision=revision,
+        sequence=sequence))
+
+
+def host_class() -> str:
+    """The trend-comparison bucket: OS + architecture + python minor.
+
+    Numbers from different machines classes or interpreter lines are
+    not comparable; the rolling gate only ever compares records whose
+    host class matches exactly.
+    """
+    return "{}-{}-py{}.{}".format(
+        platform.system().lower() or "unknown",
+        platform.machine().lower() or "unknown",
+        sys.version_info[0], sys.version_info[1])
+
+
+@dataclass
+class BenchHistoryRecord:
+    """One appended perf record, as read back from the store."""
+
+    kind: str
+    name: str
+    host: str
+    revision: str
+    sequence: int
+    timings: Dict[str, float]            # label -> seconds
+    speedups: Dict[str, float] = field(default_factory=dict)
+    counters: Dict[str, Any] = field(default_factory=dict)
+    extra: Dict[str, Any] = field(default_factory=dict)
+    python: str = ""
+    created_at: float = 0.0
+
+    @property
+    def stream(self) -> str:
+        """The trend-stream id records are grouped and gated by."""
+        return f"{self.kind}:{self.name}@{self.host}"
+
+    def hit_rates(self) -> Dict[str, float]:
+        """Per-family cache hit share from the store counters.
+
+        A hit is a value served without recomputation (``lru`` or
+        ``store``); the counters' remaining rows (``built`` /
+        ``computed``) are the misses.  Families with no counted cells
+        are omitted.
+        """
+        rates: Dict[str, float] = {}
+        for family, rows in sorted((self.counters or {}).items()):
+            if not isinstance(rows, dict):
+                continue
+            total = sum(int(v) for v in rows.values())
+            if total <= 0:
+                continue
+            hits = sum(int(v) for source, v in rows.items()
+                       if source in ("lru", "store"))
+            rates[family] = hits / total
+        return rates
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind, "name": self.name, "host": self.host,
+            "revision": self.revision, "sequence": self.sequence,
+            "timings": dict(self.timings),
+            "speedups": dict(self.speedups),
+            "counters": dict(self.counters),
+            "extra": dict(self.extra),
+            "python": self.python,
+            "created_at": self.created_at,
+        }
+
+
+class BenchHistoryStore:
+    """The bench-history family over one artifact-store root."""
+
+    def __init__(self, root: str = DEFAULT_STORE_DIR):
+        self.artifacts = ArtifactStore(root)
+
+    @property
+    def root(self):
+        return self.artifacts.root
+
+    # ------------------------------------------------------------------
+    # Appending
+    # ------------------------------------------------------------------
+    def append(self, kind: str, name: str, *,
+               timings: Dict[str, float],
+               speedups: Optional[Dict[str, float]] = None,
+               counters: Optional[Dict[str, Any]] = None,
+               extra: Optional[Dict[str, Any]] = None,
+               host: Optional[str] = None,
+               revision: Optional[str] = None) -> BenchHistoryRecord:
+        """Publish the next record of the ``(kind, name, host)`` stream.
+
+        Concurrency-safe without locks: the record is published at the
+        stream's next free sequence; a lost publication race (another
+        shard took that sequence) bumps the sequence and retries, so
+        every concurrent appender lands on its own slot and no record
+        is ever overwritten.
+        """
+        from repro.runner.store import git_revision
+
+        if not timings:
+            raise ValueError("a history record needs at least one timing")
+        host = host_class() if host is None else host
+        revision = git_revision() if revision is None else revision
+        existing = self.history(kind=kind, name=name, host=host)
+        sequence = existing[-1].sequence + 1 if existing else 1
+        for _ in range(_APPEND_RETRIES):
+            record = BenchHistoryRecord(
+                kind=kind, name=name, host=host, revision=revision,
+                sequence=sequence,
+                timings={k: float(v) for k, v in sorted(timings.items())},
+                speedups={k: float(v)
+                          for k, v in sorted((speedups or {}).items())},
+                counters=dict(counters or {}),
+                extra=dict(extra or {}),
+                python=platform.python_version(),
+                created_at=time.time())
+            identity = {"kind": kind, "name": name, "host": host,
+                        "revision": revision, "sequence": sequence}
+            if self.artifacts.publish(BENCH_HISTORY_FAMILY, identity,
+                                      arrays={},
+                                      extra={"record": {
+                                          "timings": record.timings,
+                                          "speedups": record.speedups,
+                                          "counters": record.counters,
+                                          "extra": record.extra,
+                                      }}):
+                return record
+            # Lost the race (or this exact record already exists --
+            # same revision, same slot): take the next sequence.
+            sequence += 1
+        raise RuntimeError(
+            f"could not append bench-history record for {kind}:{name}: "
+            f"{_APPEND_RETRIES} consecutive publication races")
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def history(self, kind: Optional[str] = None,
+                name: Optional[str] = None,
+                host: Optional[str] = None) -> List[BenchHistoryRecord]:
+        """Matching records, sorted by stream then ascending sequence."""
+        records: List[BenchHistoryRecord] = []
+        for entry in self.artifacts.ls(BENCH_HISTORY_KIND):
+            record = self._decode(entry.manifest)
+            if record is None:
+                # Undecodable manifest on a well-formed entry: corrupt;
+                # quarantine so it cannot shadow a sequence slot.
+                self.artifacts.remove(BENCH_HISTORY_KIND, entry.key)
+                continue
+            if kind is not None and record.kind != kind:
+                continue
+            if name is not None and record.name != name:
+                continue
+            if host is not None and record.host != host:
+                continue
+            records.append(record)
+        records.sort(key=lambda r: (r.kind, r.name, r.host, r.sequence,
+                                    r.created_at))
+        return records
+
+    def streams(self) -> List[List[BenchHistoryRecord]]:
+        """All records grouped per ``(kind, name, host)`` stream."""
+        grouped: Dict[str, List[BenchHistoryRecord]] = {}
+        for record in self.history():
+            grouped.setdefault(record.stream, []).append(record)
+        return [grouped[stream] for stream in sorted(grouped)]
+
+    @staticmethod
+    def _decode(manifest: Dict[str, Any]) -> Optional[BenchHistoryRecord]:
+        try:
+            identity = manifest["identity"]
+            payload = manifest["record"]
+            return BenchHistoryRecord(
+                kind=str(identity["kind"]),
+                name=str(identity["name"]),
+                host=str(identity["host"]),
+                revision=str(identity["revision"]),
+                sequence=int(identity["sequence"]),
+                timings={str(k): float(v)
+                         for k, v in payload["timings"].items()},
+                speedups={str(k): float(v)
+                          for k, v in payload.get("speedups", {}).items()},
+                counters=dict(payload.get("counters") or {}),
+                extra=dict(payload.get("extra") or {}),
+                python=str(manifest.get("python_version", "")),
+                created_at=float(manifest.get("created_at", 0.0)))
+        except (KeyError, TypeError, ValueError, AttributeError):
+            return None
+
+
+# ---------------------------------------------------------------------------
+# The rolling-window regression gate
+# ---------------------------------------------------------------------------
+
+# Timings whose baseline median is below this are too close to clock
+# noise to gate meaningfully (an LRU hit measured in microseconds can
+# "regress" 3x by scheduler jitter alone); they are reported as skipped
+# unless the caller lowers the floor.
+DEFAULT_MIN_TIME = 1e-3
+DEFAULT_WINDOW = 5
+DEFAULT_THRESHOLD = 1.5
+
+
+@dataclass
+class GateRow:
+    """One gated timing label: current vs the window median."""
+
+    metric: str
+    current: float
+    median: float
+    ratio: float
+    ok: bool
+
+    def row(self):
+        return (self.metric, self.current, self.median, self.ratio,
+                "ok" if self.ok else "REGRESSED")
+
+
+@dataclass
+class GateVerdict:
+    """The rolling-window gate's decision for one record stream."""
+
+    stream: str
+    threshold: float
+    window: int                      # baseline records actually compared
+    current_sequence: Optional[int] = None
+    rows: List[GateRow] = field(default_factory=list)
+    skipped: List[str] = field(default_factory=list)
+    note: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return all(row.ok for row in self.rows)
+
+    @property
+    def regressions(self) -> List[GateRow]:
+        return [row for row in self.rows if not row.ok]
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "stream": self.stream,
+            "threshold": self.threshold,
+            "window": self.window,
+            "current_sequence": self.current_sequence,
+            "ok": self.ok,
+            "rows": [{"metric": r.metric, "current": r.current,
+                      "median": r.median, "ratio": r.ratio, "ok": r.ok}
+                     for r in self.rows],
+            "skipped": list(self.skipped),
+            "note": self.note,
+        }
+
+
+def rolling_gate(records: Sequence[BenchHistoryRecord], *,
+                 window: int = DEFAULT_WINDOW,
+                 threshold: float = DEFAULT_THRESHOLD,
+                 metrics: Optional[Sequence[str]] = None,
+                 min_time: float = DEFAULT_MIN_TIME) -> GateVerdict:
+    """Gate the newest record against the median of its predecessors.
+
+    ``records`` must be one stream (same kind/name/host), ascending --
+    what :meth:`BenchHistoryStore.history` returns.  The newest record
+    is the candidate; the up-to-``window`` records before it are the
+    baseline.  Every timing label present in the candidate (or just
+    ``metrics``, when given) is compared as ``current / median`` and
+    fails the gate when the ratio exceeds ``threshold``.  With no
+    baseline yet (a brand-new stream) the gate passes vacuously -- the
+    first CI run seeds the window instead of failing it.
+    """
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    if threshold <= 0:
+        raise ValueError(f"threshold must be > 0, got {threshold}")
+    if not records:
+        return GateVerdict(stream="(empty)", threshold=threshold, window=0,
+                           note="no records: nothing to gate")
+    ordered = sorted(records, key=lambda r: (r.sequence, r.created_at))
+    current = ordered[-1]
+    baseline = ordered[max(0, len(ordered) - 1 - window):-1]
+    verdict = GateVerdict(stream=current.stream, threshold=threshold,
+                          window=len(baseline),
+                          current_sequence=current.sequence)
+    if not baseline:
+        verdict.note = "first record of this stream: gate passes vacuously"
+        return verdict
+    labels = list(metrics) if metrics else sorted(current.timings)
+    for label in labels:
+        if label not in current.timings:
+            verdict.skipped.append(f"{label}: not in the current record")
+            continue
+        values = [r.timings[label] for r in baseline if label in r.timings]
+        if not values:
+            verdict.skipped.append(f"{label}: no baseline values in the "
+                                   f"window")
+            continue
+        median = statistics.median(values)
+        if median < min_time:
+            verdict.skipped.append(
+                f"{label}: baseline median {median:.2g}s is below the "
+                f"{min_time:.2g}s noise floor")
+            continue
+        value = current.timings[label]
+        ratio = value / median
+        verdict.rows.append(GateRow(metric=label, current=value,
+                                    median=median, ratio=ratio,
+                                    ok=ratio <= threshold))
+    return verdict

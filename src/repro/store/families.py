@@ -30,7 +30,14 @@ kind                identity coordinates
 graphs              (scenario, size, derived_seed)
 oracles             (scenario, size, derived_seed, oracle, revision)
 decompositions      (scenario, size, derived_seed, algorithm)
+bench-history       (kind, name, host, revision, sequence)
 ==================  ========================================================
+
+Unlike the first three (immutable caches of recomputable values), the
+bench-history family is an *append-only log*: its ``sequence``
+coordinate is allocated at publish time, with lost publication races
+resolved by bumping to the next slot (see
+:mod:`repro.store.bench_history`).
 """
 
 from __future__ import annotations

@@ -1,0 +1,36 @@
+"""Structured per-run sweep telemetry (the observability plane).
+
+A persisted sweep writes ``telemetry.jsonl`` beside its
+``records.jsonl``: one JSON object per line, recording the run's cell
+*lifecycle* -- ``scheduled`` when the plan is laid down, ``started`` /
+``retried`` as attempts are dispatched, ``finished`` / ``timed_out`` /
+``errored`` as the persist callback lands each result (with wall time,
+attempt count, the ``graph_source`` / ``oracle_source`` /
+``decomposition_source`` provenance, and the metered ``rounds`` /
+``messages`` / ``max_edge_congestion`` summary), bracketed by
+``sweep_begin`` / ``sweep_end``.  Events are appended and flushed as
+they happen, so an interrupted sweep keeps its partial timeline; a
+resumed run appends further events to the same file.
+
+Telemetry is strictly additive observability: it lives in its own file
+and never touches ``records.jsonl``, so canonical cell records are
+byte-identical with telemetry on or off (pinned by
+``tests/test_telemetry.py`` the same way the ``*_source`` fields are).
+
+:mod:`repro.telemetry.report` renders a recorded timeline for
+``repro runs report``: slowest cells, retry/timeout clusters, and
+per-family cache efficacy over the life of the run.
+"""
+
+from repro.telemetry.events import (
+    TELEMETRY_NAME,
+    RunTelemetry,
+    load_events,
+    telemetry_path,
+)
+from repro.telemetry.report import run_report, run_report_payload
+
+__all__ = [
+    "TELEMETRY_NAME", "RunTelemetry", "load_events", "run_report",
+    "run_report_payload", "telemetry_path",
+]

@@ -1,0 +1,185 @@
+"""Render a run's telemetry timeline for ``repro runs report``.
+
+Three views over one run, all built from the persisted record set plus
+the ``telemetry.jsonl`` timeline (when present):
+
+* **slowest cells** -- the wall-time top of the record set, with
+  status and attempt counts, so the cell dominating a slow sweep is
+  one command away;
+* **retry / timeout clusters** -- per-scenario counts of cells that
+  needed retries, timed out, or errored: a cluster on one scenario is
+  a workload problem, spread across all of them is an environment
+  problem;
+* **cache efficacy over time** -- completion events bucketed into
+  timeline segments, per artifact family: the hit share should climb
+  toward 1.0 as a sweep warms its stores, and a flat-low family says
+  its store is disconnected or its keys are churning.
+
+Tables render through :func:`repro.analysis.reporting.format_table`,
+like every other CLI surface.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.analysis.reporting import format_table
+from repro.runner.jobs import CellResult, error_headline
+from repro.telemetry.events import (
+    ERRORED,
+    FINISHED,
+    SWEEP_BEGIN,
+    TIMED_OUT,
+    load_events,
+    telemetry_path,
+)
+
+_COMPLETION_KINDS = (FINISHED, TIMED_OUT, ERRORED)
+
+# (event field, family) pairs for the cache-efficacy view; the "none"
+# provenance (cells without a baseline / decomposition input) does not
+# count toward a family's total, mirroring the sweep summary.
+_PROVENANCE_FIELDS = (("graph_source", "graphs"),
+                      ("oracle_source", "oracles"),
+                      ("decomposition_source", "decompositions"))
+_HIT_SOURCES = ("lru", "store")
+
+
+def _hit_share(events: Sequence[Dict[str, Any]],
+               field: str) -> Optional[float]:
+    counted = [e.get(field) for e in events
+               if e.get(field) not in (None, "none")]
+    if not counted:
+        return None
+    return sum(1 for source in counted if source in _HIT_SOURCES) \
+        / len(counted)
+
+
+def _cache_efficacy_rows(completions: Sequence[Dict[str, Any]],
+                         buckets: int = 5) -> List[tuple]:
+    """Hit shares per timeline segment: the warm-up curve of a run."""
+    rows: List[tuple] = []
+    total = len(completions)
+    if total == 0:
+        return rows
+    buckets = min(buckets, total)
+    base, remainder = divmod(total, buckets)
+    start = 0
+    for index in range(buckets):
+        size = base + (1 if index < remainder else 0)
+        chunk = completions[start:start + size]
+        start += size
+        shares = [_hit_share(chunk, field)
+                  for field, _family in _PROVENANCE_FIELDS]
+        rows.append((f"{index + 1}/{buckets}", len(chunk),
+                     *("-" if share is None else f"{share:.0%}"
+                       for share in shares)))
+    return rows
+
+
+def _cluster_rows(results: Sequence[CellResult]) -> List[tuple]:
+    """Per-scenario retry/timeout/error counts (only troubled rows)."""
+    clusters: Dict[str, Dict[str, int]] = {}
+    for result in results:
+        bucket = clusters.setdefault(
+            result.spec.scenario,
+            {"cells": 0, "retried": 0, "timeouts": 0, "errors": 0})
+        bucket["cells"] += 1
+        if result.attempts > 1:
+            bucket["retried"] += 1
+        if result.status == "timeout":
+            bucket["timeouts"] += 1
+        elif result.status == "error":
+            bucket["errors"] += 1
+    return [(scenario, b["cells"], b["retried"], b["timeouts"], b["errors"])
+            for scenario, b in sorted(clusters.items())
+            if b["retried"] or b["timeouts"] or b["errors"]]
+
+
+def _slowest_rows(results: Sequence[CellResult], top: int) -> List[tuple]:
+    ranked = sorted(results, key=lambda r: r.wall_time, reverse=True)[:top]
+    return [(r.spec.scenario, r.spec.algorithm, r.spec.size, r.spec.seed,
+             r.status, r.attempts, r.wall_time,
+             "pass" if r.passed else
+             (error_headline(r.error)[:40] or "FAIL"))
+            for r in ranked]
+
+
+def run_report_payload(run, *, top: int = 10) -> Dict[str, Any]:
+    """The ``repro runs report --json`` payload for one stored run."""
+    results = run.load_results()
+    events = load_events(telemetry_path(run.path))
+    completions = [e for e in events if e.get("event") in _COMPLETION_KINDS]
+    return {
+        "run_id": run.run_id,
+        "revision": run.revision,
+        "state": "complete" if run.is_complete() else "incomplete",
+        "recorded": len(results),
+        "planned": len(run.planned_keys),
+        "passed": sum(1 for r in results if r.passed),
+        "invocations": sum(1 for e in events
+                           if e.get("event") == SWEEP_BEGIN),
+        "telemetry_events": len(events),
+        "wall_time_total": sum(r.wall_time for r in results),
+        "slowest": [
+            {"scenario": row[0], "algorithm": row[1], "size": row[2],
+             "seed": row[3], "status": row[4], "attempts": row[5],
+             "wall_time": row[6], "verdict": row[7]}
+            for row in _slowest_rows(results, top)],
+        "clusters": [
+            {"scenario": row[0], "cells": row[1], "retried": row[2],
+             "timeouts": row[3], "errors": row[4]}
+            for row in _cluster_rows(results)],
+        "cache_efficacy": [
+            {"segment": row[0], "cells": row[1], "graphs": row[2],
+             "oracles": row[3], "decompositions": row[4]}
+            for row in _cache_efficacy_rows(completions)],
+    }
+
+
+def run_report(run, *, top: int = 10) -> str:
+    """Human-readable telemetry report for one stored run."""
+    payload = run_report_payload(run, top=top)
+    lines: List[str] = []
+    lines.append(
+        f"run {payload['run_id']} @ {payload['revision']} "
+        f"({payload['state']}): {payload['passed']}/{payload['recorded']} "
+        f"recorded cells passed, {payload['planned']} planned, "
+        f"{payload['wall_time_total']:.2f}s total cell wall time")
+    if payload["telemetry_events"]:
+        lines.append(f"telemetry: {payload['telemetry_events']} events "
+                     f"over {payload['invocations']} invocation(s)")
+    else:
+        lines.append("telemetry: no telemetry.jsonl recorded for this run "
+                     "(sweep predates it or ran with --no-telemetry)")
+
+    if payload["slowest"]:
+        lines.append("")
+        lines.append(format_table(
+            ["scenario", "algorithm", "size", "seed", "status",
+             "attempts", "wall-time", "verdict"],
+            [(c["scenario"], c["algorithm"], c["size"], c["seed"],
+              c["status"], c["attempts"], c["wall_time"], c["verdict"])
+             for c in payload["slowest"]],
+            title=f"slowest cells (top {len(payload['slowest'])}):"))
+
+    lines.append("")
+    if payload["clusters"]:
+        lines.append(format_table(
+            ["scenario", "cells", "retried", "timeouts", "errors"],
+            [(c["scenario"], c["cells"], c["retried"], c["timeouts"],
+              c["errors"]) for c in payload["clusters"]],
+            title="retry/timeout clusters:"))
+    else:
+        lines.append("retry/timeout clusters: none "
+                     "(every cell completed first try)")
+
+    if payload["cache_efficacy"]:
+        lines.append("")
+        lines.append(format_table(
+            ["segment", "cells", "graphs", "oracles", "decompositions"],
+            [(c["segment"], c["cells"], c["graphs"], c["oracles"],
+              c["decompositions"]) for c in payload["cache_efficacy"]],
+            title="cache efficacy over the timeline (hit share per "
+                  "completion segment):"))
+    return "\n".join(lines)

@@ -77,3 +77,26 @@ def test_format_table_float_formatting():
     text = format_table(["x"], [(0.123456,), (1234.5,), (0.0,)])
     assert "0.123" in text
     assert "1234" in text or "1235" in text
+
+
+def test_format_table_empty_rows_uses_header_widths():
+    text = format_table(["name", "count"], [])
+    lines = text.splitlines()
+    assert lines == ["name  count", "----  -----"]
+
+
+def test_format_table_negative_floats():
+    text = format_table(["x"], [(-0.123456,), (-1234.5,), (-0.5,)])
+    assert "-0.123" in text
+    assert "-1234" in text or "-1235" in text
+    assert "-0.5" in text
+
+
+def test_format_table_integer_valued_floats():
+    # Integer-valued floats render without a fractional tail, at any
+    # magnitude; values >= 100 drop fractions entirely.
+    text = format_table(["x"], [(3.0,), (250.0,), (123.456,)])
+    lines = text.splitlines()
+    assert lines[2].strip() == "3"
+    assert lines[3].strip() == "250"
+    assert lines[4].strip() == "123"

@@ -1,0 +1,273 @@
+"""The bench-history family and the rolling-window regression gate.
+
+What is locked down here:
+
+* **append-only sequencing** -- every append lands on its own sequence
+  slot, per ``(kind, name, host)`` stream, including under racing
+  writer processes (the sequence-bump retry over the atomic byte
+  layer);
+* **gate semantics** -- parity passes, a real slowdown fails, a
+  brand-new stream passes vacuously, sub-noise-floor timings are
+  skipped rather than gated;
+* **producers** -- a completed persisted sweep appends one record
+  (and an incomplete one does not); ``repro bench`` reports append
+  through :func:`repro.bench.append_report_history` with unrounded
+  timings;
+* **CLI** -- ``repro bench history`` / ``report`` / ``gate`` exit
+  codes and rendering, including the ``gate --smoke`` self-test.
+"""
+
+import multiprocessing
+
+import pytest
+
+from repro.bench import BenchReport, append_report_history
+from repro.cli import main
+from repro.store.bench_history import (
+    DEFAULT_THRESHOLD,
+    BenchHistoryStore,
+    host_class,
+    rolling_gate,
+)
+
+HOST = "testhost-arch-py0.0"
+
+
+def _append(store, seconds, name="unit", host=HOST, **kwargs):
+    return store.append("bench", name, host=host, revision="rev",
+                        timings={"step": seconds}, **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# Appending and reading back
+# ---------------------------------------------------------------------------
+
+def test_append_allocates_monotone_sequences_per_stream(tmp_path):
+    store = BenchHistoryStore(tmp_path)
+    assert _append(store, 1.0).sequence == 1
+    assert _append(store, 1.1).sequence == 2
+    # Other streams (different name or host) count independently.
+    assert _append(store, 9.0, name="other").sequence == 1
+    assert _append(store, 9.0, host="elsewhere-x-py9.9").sequence == 1
+    assert [r.sequence for r in
+            store.history(kind="bench", name="unit", host=HOST)] == [1, 2]
+
+
+def test_append_requires_at_least_one_timing(tmp_path):
+    with pytest.raises(ValueError):
+        BenchHistoryStore(tmp_path).append("bench", "unit", timings={})
+
+
+def test_record_round_trips_payload_exactly(tmp_path):
+    store = BenchHistoryStore(tmp_path)
+    written = store.append(
+        "sweep", "sweep-abc", host=HOST, revision="deadbeef",
+        timings={"wall_time": 0.123456789},
+        speedups={"warm_vs_cold": 3.25},
+        counters={"graphs": {"lru": 3, "store": 1, "built": 4}},
+        extra={"run_id": "run-1", "cells": 8})
+    (read,) = store.history(kind="sweep")
+    # JSON round-trips python floats exactly; no rounding anywhere.
+    assert read.timings == {"wall_time": 0.123456789}
+    assert read.speedups == {"warm_vs_cold": 3.25}
+    assert read.extra == {"run_id": "run-1", "cells": 8}
+    assert (read.kind, read.name, read.host, read.revision,
+            read.sequence) == ("sweep", "sweep-abc", HOST, "deadbeef", 1)
+    assert read.stream == written.stream == f"sweep:sweep-abc@{HOST}"
+    assert read.hit_rates() == {"graphs": 0.5}
+
+
+def test_history_filters_by_kind_name_host(tmp_path):
+    store = BenchHistoryStore(tmp_path)
+    _append(store, 1.0)
+    _append(store, 2.0, name="other")
+    store.append("sweep", "unit", host=HOST, revision="rev",
+                 timings={"wall_time": 3.0})
+    assert len(store.history()) == 3
+    assert len(store.history(kind="bench")) == 2
+    assert len(store.history(name="unit")) == 2
+    assert len(store.history(kind="bench", name="unit", host=HOST)) == 1
+    assert store.history(host="nowhere") == []
+    assert [len(s) for s in store.streams()] == [1, 1, 1]
+
+
+def _race_append(root):
+    store = BenchHistoryStore(root)
+    record = store.append("bench", "raced", host=HOST, revision="rev",
+                          timings={"step": 1.0})
+    return record.sequence
+
+
+def test_concurrent_appenders_each_land_their_own_slot(tmp_path):
+    """Racing CI shards: no record lost, no sequence reused."""
+    root = str(tmp_path / "store")
+    with multiprocessing.Pool(2) as pool:
+        sequences = pool.map(_race_append, [root] * 4)
+    assert sorted(sequences) == [1, 2, 3, 4]
+    records = BenchHistoryStore(root).history(name="raced")
+    assert [r.sequence for r in records] == [1, 2, 3, 4]
+
+
+# ---------------------------------------------------------------------------
+# The rolling-window gate
+# ---------------------------------------------------------------------------
+
+def test_gate_passes_on_parity_and_fails_on_regression(tmp_path):
+    store = BenchHistoryStore(tmp_path)
+    for seconds in (1.0, 1.05, 0.95):
+        _append(store, seconds)
+    parity = rolling_gate(store.history(name="unit"))
+    assert parity.ok and parity.window == 2
+    (row,) = parity.rows
+    assert row.metric == "step" and row.ratio == pytest.approx(0.95 / 1.025)
+
+    _append(store, 2.5)  # > DEFAULT_THRESHOLD x the window median
+    verdict = rolling_gate(store.history(name="unit"))
+    assert not verdict.ok
+    (bad,) = verdict.regressions
+    assert bad.ratio > DEFAULT_THRESHOLD
+    assert verdict.current_sequence == 4
+    assert verdict.as_dict()["ok"] is False
+
+
+def test_gate_first_record_passes_vacuously(tmp_path):
+    store = BenchHistoryStore(tmp_path)
+    _append(store, 1.0)
+    verdict = rolling_gate(store.history(name="unit"))
+    assert verdict.ok and verdict.rows == [] and "vacuous" in verdict.note
+    empty = rolling_gate([])
+    assert empty.ok and empty.stream == "(empty)"
+
+
+def test_gate_skips_sub_noise_floor_timings(tmp_path):
+    store = BenchHistoryStore(tmp_path)
+    for seconds in (1e-5, 1e-5, 5e-5):  # 5x "slower", but microseconds
+        _append(store, seconds)
+    verdict = rolling_gate(store.history(name="unit"))
+    assert verdict.ok and verdict.rows == []
+    assert any("noise floor" in reason for reason in verdict.skipped)
+    # Lowering the floor turns the same data into a failure.
+    assert not rolling_gate(store.history(name="unit"), min_time=0).ok
+
+
+def test_gate_metrics_restriction_and_validation(tmp_path):
+    store = BenchHistoryStore(tmp_path)
+    for fast, slow in ((1.0, 1.0), (1.0, 9.9)):
+        store.append("bench", "unit", host=HOST, revision="rev",
+                     timings={"fast": fast, "slow": slow})
+    records = store.history(name="unit")
+    assert not rolling_gate(records).ok
+    assert rolling_gate(records, metrics=["fast"]).ok
+    missing = rolling_gate(records, metrics=["absent"])
+    assert missing.ok and missing.skipped
+    with pytest.raises(ValueError):
+        rolling_gate(records, window=0)
+    with pytest.raises(ValueError):
+        rolling_gate(records, threshold=0)
+
+
+# ---------------------------------------------------------------------------
+# Producers: completed sweeps and bench reports
+# ---------------------------------------------------------------------------
+
+def test_completed_sweep_appends_history_record(tmp_path):
+    from repro.runner import RunStore, run_sweep
+
+    store = RunStore(tmp_path / "runs")
+    history_dir = str(tmp_path / "store")
+    first = run_sweep(["path"], store=store, revision="rev-A",
+                      bench_history_dir=history_dir)
+    assert first.history is not None
+    assert first.history.kind == "sweep"
+    assert first.history.sequence == 1
+    assert first.history.revision == "rev-A"
+    assert first.history.extra["run_id"] == first.run_id
+    assert set(first.history.timings) == {"wall_time", "wall_time_total"}
+
+    again = run_sweep(["path"], store=store, revision="rev-A", fresh=True,
+                      bench_history_dir=history_dir)
+    assert again.history.sequence == 2
+    assert again.history.name == first.history.name  # same params stream
+    records = BenchHistoryStore(history_dir).history(kind="sweep")
+    assert [r.sequence for r in records] == [1, 2]
+
+
+def test_sweep_without_history_dir_appends_nothing(tmp_path):
+    from repro.runner import RunStore, run_sweep
+
+    outcome = run_sweep(["path"], store=RunStore(tmp_path / "runs"))
+    assert outcome.history is None
+
+
+def test_append_report_history_keeps_unrounded_timings(tmp_path):
+    report = BenchReport(name="unit-bench", scenario="path",
+                         timings={"hot": 0.123456789},
+                         speedups={"warm_vs_cold": 2.0},
+                         extra={"smoke": False})
+    record = append_report_history(report, str(tmp_path))
+    assert record.kind == "bench" and record.name == "unit-bench"
+    (read,) = BenchHistoryStore(tmp_path).history(name="unit-bench")
+    # The JSON report file rounds for humans; history must not.
+    assert read.timings["hot"] == 0.123456789
+    assert read.extra["scenario"] == "path"
+
+
+# ---------------------------------------------------------------------------
+# CLI: history / report / gate
+# ---------------------------------------------------------------------------
+
+@pytest.fixture
+def seeded(tmp_path):
+    store = BenchHistoryStore(tmp_path)
+    for seconds in (1.0, 1.04):
+        _append(store, seconds)
+    return str(tmp_path)
+
+
+def test_cli_bench_history_lists_records(seeded, capsys):
+    assert main(["bench", "history", "--history-dir", seeded]) == 0
+    out = capsys.readouterr().out
+    assert "bench" in out and "unit" in out and "2 history record(s)" in out
+
+
+def test_cli_bench_report_renders_trajectory(seeded, capsys):
+    assert main(["bench", "report", "--history-dir", seeded]) == 0
+    out = capsys.readouterr().out
+    assert f"bench:unit@{HOST}: 2 record(s)" in out
+    assert "#1" in out and "#2" in out and "step" in out
+
+
+def test_cli_bench_gate_passes_then_fails(seeded, capsys):
+    base = ["bench", "gate", "unit", "--history-dir", seeded,
+            "--host", HOST]
+    assert main(base) == 0
+    assert "gate PASS" in capsys.readouterr().out
+    _append(BenchHistoryStore(seeded), 9.9)
+    assert main(base) == 1
+    assert "REGRESSED" in capsys.readouterr().out
+    # Tolerant thresholds are a flag away.
+    assert main(base + ["--threshold", "100"]) == 0
+
+
+def test_cli_bench_gate_usage_errors(tmp_path, capsys):
+    root = str(tmp_path)
+    assert main(["bench", "gate", "--history-dir", root]) == 2
+    assert main(["bench", "gate", "nothing-here",
+                 "--history-dir", root]) == 2
+    err = capsys.readouterr().err
+    assert "exactly one" in err and "no bench-history records" in err
+
+
+def test_cli_bench_gate_defaults_to_this_host_class(tmp_path, capsys):
+    store = BenchHistoryStore(tmp_path)
+    _append(store, 1.0, host=host_class())
+    _append(store, 1.0, host="other-arch-py9.9")
+    assert main(["bench", "gate", "unit",
+                 "--history-dir", str(tmp_path)]) == 0
+    assert host_class() in capsys.readouterr().out
+
+
+def test_cli_bench_gate_smoke_self_test(capsys):
+    assert main(["bench", "gate", "--smoke"]) == 0
+    out = capsys.readouterr().out
+    assert "parity passed" in out and "regression caught" in out

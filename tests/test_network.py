@@ -161,6 +161,30 @@ def test_metrics_snapshot_delta_merge():
     assert m2.rounds == 9
 
 
+def test_metrics_merge_parallel_vs_sequential_round_semantics():
+    """Parallel composition maxes rounds; traffic always adds."""
+    def build(rounds, words):
+        m = Metrics(rounds=rounds)
+        m.record_send(0, 1, words)
+        return m
+
+    seq = build(5, 2)
+    seq.merge(build(3, 7))
+    seq.merge(build(9, 1))
+    assert seq.rounds == 17                     # sequential: phases add
+    par = build(5, 2)
+    par.merge(build(3, 7), parallel=True)
+    assert par.rounds == 5                      # concurrent: slowest wins
+    par.merge(build(9, 1), parallel=True)
+    assert par.rounds == 9
+    # Bandwidth is physical either way: messages/words/max word width
+    # accumulate identically under both compositions.
+    for merged in (seq, par):
+        assert merged.messages == 3
+        assert merged.words == 10
+        assert merged.max_message_words == 7
+
+
 def test_node_info_weights_directed():
     g = from_edges(2, [(0, 1)], weights={(0, 1): 5, (1, 0): 7})
 

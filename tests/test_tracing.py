@@ -39,6 +39,27 @@ def test_trace_node_filter():
 def test_trace_max_events_cap():
     tracer = _run_traced(max_events=2)
     assert len(tracer.events) == 2
+    # The cap is not a silent drop: the tracer reports how much is gone.
+    assert tracer.truncated and tracer.dropped > 0
+    full = _run_traced()
+    assert not full.truncated and full.dropped == 0
+
+
+def test_node_filter_exclusions_are_not_truncation():
+    tracer = _run_traced(node_filter=lambda v: v == 2)
+    # Filtered-out events were never wanted; only the cap counts drops.
+    assert not tracer.truncated and tracer.dropped == 0
+
+
+def test_trace_records_wakes():
+    tracer = _run_traced()
+    wakes = [e for e in tracer.events if e.kind == "wake"]
+    # Round 1 activates every node; the wavefront keeps them awake.
+    assert {e.node for e in wakes if e.round == 1} == {0, 1, 2, 3}
+    assert all(e.peer is None and e.payload is None for e in wakes)
+    # Wakes respect the node filter like every other event kind.
+    only2 = _run_traced(node_filter=lambda v: v == 2)
+    assert {e.node for e in only2.events if e.kind == "wake"} == {2}
 
 
 def test_messages_between():
@@ -54,8 +75,19 @@ def test_format_trace_readable():
     assert "round 1:" in text
     assert "->" in text
     assert "halts" in text
+    assert "wakes" in text
+    assert "truncated" not in text
     short = format_trace(tracer, limit=1)
     assert "more)" in short
+
+
+def test_format_trace_reports_truncation():
+    tracer = _run_traced(max_events=2)
+    text = format_trace(tracer)
+    assert "trace truncated" in text
+    assert f"max_events={tracer.max_events}" in text
+    # The dropped count survives the limit= path too.
+    assert "trace truncated" in format_trace(tracer, limit=1)
 
 
 def test_trace_event_dataclass():
