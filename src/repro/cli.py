@@ -286,6 +286,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                             workers=args.workers, timeout=args.timeout,
                             retries=args.retries, store=store,
                             fresh=args.fresh,
+                            faults=args.faults,
+                            fault_seed=args.fault_seed,
                             graph_store_dir=graph_store_dir,
                             graph_cache_size=args.graph_cache_size,
                             oracle_store_dir=oracle_store_dir,
@@ -352,6 +354,19 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             print(f"decomposition sources: {sources}"
                   + ("" if decomposition_store_dir
                      else " (decomposition store off)"))
+        fault_counters = summary.get("fault_counters")
+        if fault_counters:
+            verdicts = fault_counters.get("verdicts") or {}
+            meters = fault_counters.get("meters") or {}
+            parts = [f"{verdicts[v]} {v}" for v in sorted(verdicts)]
+            if meters:
+                parts.append(", ".join(
+                    f"{meters[m]} {m.replace('_', ' ')}"
+                    for m in sorted(meters)))
+            print("fault injection: " + "; ".join(parts))
+        if summary.get("poisoned"):
+            print(f"poisoned cells: {summary['poisoned']} (worker died "
+                  f"repeatedly; resumed runs skip them)")
         stats = summarize(records)
         for failure in stats["failures"]:
             print(f"  FAIL {failure}")
@@ -457,9 +472,16 @@ def _cmd_store(args: argparse.Namespace) -> int:
             print(f"store root : {stats['root']}")
             print(f"entries    : {stats['entries']}")
             print(f"bytes      : {stats['bytes']}")
+            if stats.get("quarantined"):
+                print(f"quarantined: {stats['quarantined']} corrupt "
+                      f"entr{'y' if stats['quarantined'] == 1 else 'ies'} "
+                      f"held for inspection (gc drains them)")
             for kind, bucket in sorted(stats["families"].items()):
-                print(f"  {kind}: {bucket['entries']} entries, "
-                      f"{bucket['bytes']} bytes")
+                line = (f"  {kind}: {bucket['entries']} entries, "
+                        f"{bucket['bytes']} bytes")
+                if bucket.get("quarantined"):
+                    line += f", {bucket['quarantined']} quarantined"
+                print(line)
         return 0
 
     if args.action == "gc":
@@ -470,20 +492,25 @@ def _cmd_store(args: argparse.Namespace) -> int:
             return 2
         try:
             removed = store.gc(keep_last=args.keep_last,
-                               max_bytes=args.max_bytes, kind=family)
+                               max_bytes=args.max_bytes, kind=family,
+                               dry_run=args.dry_run)
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
         freed = sum(e.nbytes for e in removed)
+        verb = "would remove" if args.dry_run else "removed"
         if args.json:
             print(json.dumps({"removed": [e.key for e in removed],
-                              "bytes_freed": freed}, indent=2))
+                              "bytes_freed": freed,
+                              "dry_run": args.dry_run}, indent=2))
         else:
             for entry in removed:
-                print(f"removed {entry.key[:12]} [{entry.kind}] "
+                print(f"{verb} {entry.key[:12]} [{entry.kind}] "
                       f"({entry.identity.get('scenario', '?')}, "
                       f"{entry.nbytes} bytes)")
-            print(f"{len(removed)} artifact(s) removed, {freed} bytes freed")
+            print(f"{len(removed)} artifact(s) "
+                  f"{'would be removed (dry run)' if args.dry_run else 'removed'}, "
+                  f"{freed} bytes {'freeable' if args.dry_run else 'freed'}")
         return 0
 
     # warm: pre-build + publish graphs, baselines, and/or decompositions.
@@ -943,6 +970,17 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-worker decomposition-snapshot LRU capacity "
                         "(0 disables it; default: leave the configured "
                         "size, recorded in the run manifest)")
+    p.add_argument("--faults", nargs="+", default=None, metavar="PROFILE",
+                   help="inject faults: run every cell under each named "
+                        "fault profile (lossy-light, lossy-heavy, "
+                        "dup-storm, reorder-heavy, flaky-links, churn, "
+                        "chaos) -- cells are graded correct-under-faults "
+                        "/ degraded / diverged instead of pass/fail "
+                        "(default: no fault injection)")
+    p.add_argument("--fault-seed", type=int, default=0,
+                   help="seed for the fault plan realization; the same "
+                        "--faults --fault-seed pair replays the exact "
+                        "same drops/duplicates/crashes (default: 0)")
     p.add_argument("--fresh", action="store_true",
                    help="start a new run even if an incomplete "
                         "same-params run could be resumed")
@@ -1005,6 +1043,10 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("--max-bytes", type=_parse_bytes, default=None,
                    help="drop oldest artifacts until the payload fits "
                         "(integer bytes, K/M/G suffixes accepted)")
+    q.add_argument("--dry-run", action="store_true",
+                   help="report what would be removed without deleting "
+                        "anything (also skips the quarantine drain and "
+                        "temp-directory sweep)")
 
     q = _store_action(
         "warm",

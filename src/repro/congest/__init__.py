@@ -10,6 +10,14 @@ from repro.congest.errors import (
     NotANeighbor,
 )
 from repro.congest.composer import ComposedExecution, compose_machines
+from repro.congest.faults import (
+    FaultPlan,
+    FaultProfile,
+    active_plan,
+    fault_context,
+    fault_profile_names,
+    get_fault_profile,
+)
 from repro.congest.tracing import TraceEvent, Tracer, format_trace
 from repro.congest.machine import LocalRunner, Machine, MachineAdapter, run_machines
 from repro.congest.metrics import Metrics, undirected
@@ -27,9 +35,10 @@ from repro.congest.network import (
 
 __all__ = [
     "Algorithm", "ComposedExecution", "TraceEvent", "Tracer", "compose_machines", "format_trace", "AlgorithmError", "BroadcastOnly", "CongestError",
-    "DuplicateSend", "Execution", "LocalRunner", "Machine",
-    "MachineAdapter", "MessageTooLarge", "Metrics", "ModelViolation",
-    "Network", "NodeAPI", "NodeInfo", "NotANeighbor", "make_node_info",
-    "node_seed", "payload_words", "run_algorithm", "run_machines",
-    "undirected",
+    "DuplicateSend", "Execution", "FaultPlan", "FaultProfile", "LocalRunner",
+    "Machine", "MachineAdapter", "MessageTooLarge", "Metrics",
+    "ModelViolation", "Network", "NodeAPI", "NodeInfo", "NotANeighbor",
+    "active_plan", "fault_context", "fault_profile_names",
+    "get_fault_profile", "make_node_info", "node_seed", "payload_words",
+    "run_algorithm", "run_machines", "undirected",
 ]

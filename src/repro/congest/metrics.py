@@ -39,6 +39,9 @@ class Metrics:
     broadcasts: int = 0
     words: int = 0
     max_message_words: int = 0
+    faults_dropped: int = 0
+    faults_duplicated: int = 0
+    nodes_crashed: int = 0
     edge_congestion: Counter = field(default_factory=Counter)
 
     def record_send(self, u: Hashable, v: Hashable, size_words: int) -> None:
@@ -51,6 +54,18 @@ class Metrics:
     def record_broadcast(self) -> None:
         """Record one broadcast operation (message costs counted separately)."""
         self.broadcasts += 1
+
+    def record_fault_drop(self) -> None:
+        """Record one injected delivery drop (lost message or dead link)."""
+        self.faults_dropped += 1
+
+    def record_fault_duplicate(self) -> None:
+        """Record one injected duplicate delivery."""
+        self.faults_duplicated += 1
+
+    def record_node_crash(self) -> None:
+        """Record one node crashing (once per node, at its crash round)."""
+        self.nodes_crashed += 1
 
     def record_broadcast_sends(self, edge_keys, size_words: int) -> None:
         """Bulk-record one broadcast's messages: one per incident edge.
@@ -88,6 +103,9 @@ class Metrics:
             broadcasts=self.broadcasts,
             words=self.words,
             max_message_words=self.max_message_words,
+            faults_dropped=self.faults_dropped,
+            faults_duplicated=self.faults_duplicated,
+            nodes_crashed=self.nodes_crashed,
         )
         out.edge_congestion = Counter(self.edge_congestion)
         return out
@@ -100,6 +118,10 @@ class Metrics:
             broadcasts=self.broadcasts - earlier.broadcasts,
             words=self.words - earlier.words,
             max_message_words=self.max_message_words,
+            faults_dropped=self.faults_dropped - earlier.faults_dropped,
+            faults_duplicated=(self.faults_duplicated
+                               - earlier.faults_duplicated),
+            nodes_crashed=self.nodes_crashed - earlier.nodes_crashed,
         )
         out.edge_congestion = self.edge_congestion - earlier.edge_congestion
         return out
@@ -120,17 +142,30 @@ class Metrics:
         self.words += other.words
         self.max_message_words = max(self.max_message_words,
                                      other.max_message_words)
+        self.faults_dropped += other.faults_dropped
+        self.faults_duplicated += other.faults_duplicated
+        self.nodes_crashed += other.nodes_crashed
         self.edge_congestion.update(other.edge_congestion)
 
     def as_dict(self) -> Dict[str, int]:
-        """Summary suitable for experiment tables (drops per-edge detail)."""
-        return {
+        """Summary suitable for experiment tables (drops per-edge detail).
+
+        Fault counters appear only when any fault was injected, so the
+        dict (and every record serialized from it) is byte-identical to
+        the pre-fault-plane output for clean executions.
+        """
+        out = {
             "rounds": self.rounds,
             "messages": self.messages,
             "broadcasts": self.broadcasts,
             "words": self.words,
             "max_edge_congestion": self.max_edge_congestion,
         }
+        if self.faults_dropped or self.faults_duplicated or self.nodes_crashed:
+            out["faults_dropped"] = self.faults_dropped
+            out["faults_duplicated"] = self.faults_duplicated
+            out["nodes_crashed"] = self.nodes_crashed
+        return out
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         d = self.as_dict()

@@ -44,6 +44,7 @@ from repro.congest.errors import (
 from repro.congest.metrics import Metrics, undirected as edge_key
 from typing import TYPE_CHECKING
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.congest.faults import FaultPlan
     from repro.congest.tracing import Tracer
     from repro.graphs.graph import Graph
 
@@ -277,6 +278,12 @@ class Network:
         adjacency arrays, bulk metering, payload-size cache).  The
         scalar path is kept selectable so property tests can assert the
         two meter and deliver identically.
+    faults:
+        Optional :class:`~repro.congest.faults.FaultPlan` layered into
+        the delivery step.  When omitted, the ambient plan installed by
+        :func:`~repro.congest.faults.fault_context` (if any) applies.
+        ``None`` and the inert plan are normalized away, so fault-free
+        execution takes exactly the pre-fault-plane code paths.
     """
 
     # Cap on the payload-size memo; executions reuse a small set of
@@ -287,7 +294,8 @@ class Network:
                  bcast_only: bool = False, known_n: bool = True,
                  seed: int = 0, check_sizes: bool = True,
                  tracer: Optional["Tracer"] = None,
-                 fast_path: bool = True):
+                 fast_path: bool = True,
+                 faults: Optional["FaultPlan"] = None):
         self.graph = graph
         self.tracer = tracer
         self.word_limit = word_limit
@@ -296,6 +304,15 @@ class Network:
         self.seed = seed
         self.check_sizes = check_sizes
         self.fast_path = fast_path
+        if faults is None:
+            # Lazy import: faults imports stable_seed from this module.
+            from repro.congest.faults import active_plan
+            faults = active_plan()
+        # Null plans are normalized to "no fault plane at all" so the
+        # fault-free delivery paths are the untouched originals.
+        self._faults = (faults if faults is not None
+                        and not faults.is_null else None)
+        self._crashed: set = set()
         self.metrics = Metrics()
         self.round = 0
         self._next_inboxes: Dict[int, Inbox] = {}
@@ -319,7 +336,23 @@ class Network:
         self._size_cache: Dict[Payload, int] = {}
 
     # ------------------------------------------------------------------
-    def _payload_size(self, payload: Payload) -> int:
+    def _checked_words(self, payload: Payload,
+                       src: Optional[int] = None) -> int:
+        """``payload_words`` with the sending node's execution context.
+
+        An unsupported payload type is the *algorithm's* bug, not the
+        runner's: surface it as an :class:`AlgorithmError` naming the
+        sender and round so it lands in sweep records as an algorithm
+        failure instead of crashing the cell with a bare TypeError.
+        """
+        try:
+            return payload_words(payload)
+        except TypeError as exc:
+            raise AlgorithmError(
+                f"node {src}, round {self.round}: {exc}") from exc
+
+    def _payload_size(self, payload: Payload,
+                      src: Optional[int] = None) -> int:
         """``payload_words`` with memoization for hashable payloads.
 
         Equal payloads of the supported scalar/container types always
@@ -330,10 +363,10 @@ class Network:
         try:
             return self._size_cache[payload]
         except TypeError:
-            return payload_words(payload)
+            return self._checked_words(payload, src)
         except KeyError:
             pass
-        size = payload_words(payload)
+        size = self._checked_words(payload, src)
         if len(self._size_cache) < self._SIZE_CACHE_MAX:
             self._size_cache[payload] = size
         return size
@@ -342,13 +375,16 @@ class Network:
     def _transmit(self, src: int, dst: int, payload: Payload,
                   sent_to: set) -> None:
         if dst not in self._nbr_sets[src]:
-            raise NotANeighbor(f"{src} -> {dst} is not an edge")
+            raise NotANeighbor(
+                f"node {src}: {src} -> {dst} is not an edge "
+                f"(round {self.round})")
         if dst in sent_to:
             raise DuplicateSend(
-                f"node {src} sent twice to {dst} in round {self.round}")
+                f"node {src} sent twice to {dst} in round {self.round} "
+                f"(edge {src} -> {dst})")
         sent_to.add(dst)
         if self.check_sizes:
-            size = self._payload_size(payload)
+            size = self._payload_size(payload, src)
             self.max_message_words = max(self.max_message_words, size)
             if size > self.word_limit:
                 raise MessageTooLarge(
@@ -359,6 +395,15 @@ class Network:
         self.metrics.record_send(src, dst, max(1, size))
         if self.tracer is not None:
             self.tracer.record_send(self.round, src, dst, payload)
+        if self._faults is not None:
+            copies = self._faults.deliver_copies(
+                self.round, src, dst, self.metrics, self.tracer)
+            if not copies:
+                return
+            box = self._next_inboxes.setdefault(dst, [])
+            for _ in range(copies):
+                box.append((src, payload))
+            return
         self._next_inboxes.setdefault(dst, []).append((src, payload))
 
     # ------------------------------------------------------------------
@@ -378,10 +423,10 @@ class Network:
                 if dst in sent_to:
                     raise DuplicateSend(
                         f"node {src} sent twice to {dst} "
-                        f"in round {self.round}")
+                        f"in round {self.round} (edge {src} -> {dst})")
         sent_to.update(nbrs)
         if self.check_sizes:
-            size = self._payload_size(payload)
+            size = self._payload_size(payload, src)
             self.max_message_words = max(self.max_message_words, size)
             if size > self.word_limit:
                 raise MessageTooLarge(
@@ -396,6 +441,20 @@ class Network:
                 self.tracer.record_send(self.round, src, dst, payload)
         msg = (src, payload)
         inboxes = self._next_inboxes
+        if self._faults is not None:
+            # Per-destination fault decisions are coordinate-seeded, so
+            # this batched path injects exactly what len(nbrs) scalar
+            # _transmit calls would (pinned by the equivalence tests).
+            faults = self._faults
+            for dst in nbrs:
+                copies = faults.deliver_copies(
+                    self.round, src, dst, self.metrics, self.tracer)
+                if not copies:
+                    continue
+                box = inboxes.setdefault(dst, [])
+                for _ in range(copies):
+                    box.append(msg)
+            return
         for dst in nbrs:
             box = inboxes.get(dst)
             if box is None:
@@ -419,6 +478,13 @@ class Network:
         """
         self.round = 0
         self._next_inboxes = {}
+        self._crashed = set()
+        if self._faults is not None and self._faults.round_limit is not None:
+            # Faulted executions can legitimately livelock (a node spins
+            # waiting for a dropped message); clamp so they terminate as
+            # an AlgorithmError -- i.e. a `diverged` record -- instead
+            # of running to the multi-million-round default.
+            max_rounds = min(max_rounds, self._faults.round_limit)
         apis: Dict[int, NodeAPI] = {}
         algos: Dict[int, Algorithm] = {}
         for v in self.graph.nodes():
@@ -458,6 +524,16 @@ class Network:
                 raise AlgorithmError(
                     f"exceeded max_rounds={max_rounds}; likely livelock")
 
+            if self._faults is not None:
+                # Apply round-boundary faults to the inboxes about to be
+                # consumed: register due node crashes and shuffle
+                # reordered inboxes.  A crashed node's pending wake-up
+                # is discarded so it cannot keep the network alive.
+                for v in self._faults.begin_round(
+                        self.round, inboxes, self._crashed,
+                        self.metrics, self.tracer):
+                    wake_pending.pop(v, None)
+
             active = set(inboxes)
             # `woken` feeds tracer.record_wake only; skip the extra
             # bookkeeping entirely when untraced (tracing must stay
@@ -472,9 +548,10 @@ class Network:
                         woken.add(v)
 
             acted = False
+            crashed = self._crashed
             for v in sorted(active):
                 api = apis[v]
-                if api.halted:
+                if api.halted or v in crashed:
                     continue
                 acted = True
                 if woken is not None and v in woken:
@@ -503,9 +580,10 @@ def run_algorithm(graph: "Graph", factory: Callable[[NodeInfo], Algorithm], *,
                   known_n: bool = True, seed: int = 0,
                   check_sizes: bool = True, tracer: Optional["Tracer"] = None,
                   max_rounds: int = 5_000_000,
-                  fast_path: bool = True) -> Execution:
+                  fast_path: bool = True,
+                  faults: Optional["FaultPlan"] = None) -> Execution:
     """One-shot convenience wrapper: build a network and run to quiescence."""
     net = Network(graph, word_limit=word_limit, bcast_only=bcast_only,
                   known_n=known_n, seed=seed, check_sizes=check_sizes,
-                  tracer=tracer, fast_path=fast_path)
+                  tracer=tracer, fast_path=fast_path, faults=faults)
     return net.run(factory, inputs=inputs, max_rounds=max_rounds)

@@ -18,7 +18,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 @dataclass
 class TraceEvent:
     round: int
-    kind: str          # "send" | "halt" | "wake"
+    kind: str          # "send" | "halt" | "wake" | "drop" | "dup" | "crash"
     node: int
     peer: Optional[int] = None
     payload: Any = None
@@ -78,6 +78,24 @@ class Tracer:
             self.events.append(TraceEvent(round=rnd, kind="wake",
                                           node=node))
 
+    def record_drop(self, rnd: int, src: int, dst: int) -> None:
+        """An injected fault dropped the delivery src -> dst."""
+        if self._want(src, dst):
+            self.events.append(TraceEvent(round=rnd, kind="drop",
+                                          node=src, peer=dst))
+
+    def record_duplicate(self, rnd: int, src: int, dst: int) -> None:
+        """An injected fault duplicated the delivery src -> dst."""
+        if self._want(src, dst):
+            self.events.append(TraceEvent(round=rnd, kind="dup",
+                                          node=src, peer=dst))
+
+    def record_crash(self, rnd: int, node: int) -> None:
+        """A node crashed (per its fault plan) at the start of ``rnd``."""
+        if self._want(node):
+            self.events.append(TraceEvent(round=rnd, kind="crash",
+                                          node=node))
+
     def sends(self) -> List[TraceEvent]:
         return [e for e in self.events if e.kind == "send"]
 
@@ -118,4 +136,12 @@ def format_trace(tracer: Tracer, *, limit: int = 200) -> str:
                              f"(output={event.payload!r})")
             elif event.kind == "wake":
                 lines.append(f"  {event.node} wakes")
+            elif event.kind == "drop":
+                lines.append(f"  {event.node} -> {event.peer}: "
+                             f"delivery dropped (fault)")
+            elif event.kind == "dup":
+                lines.append(f"  {event.node} -> {event.peer}: "
+                             f"delivery duplicated (fault)")
+            elif event.kind == "crash":
+                lines.append(f"  {event.node} crashes (fault)")
     return footer()

@@ -39,7 +39,12 @@ Consumers: the ``repro sweep`` CLI command, ``repro scenarios sweep``,
 """
 
 from repro.runner.compare import CellDelta, RunComparison, compare_runs
-from repro.runner.engine import SweepOutcome, run_sweep, sweep_params
+from repro.runner.engine import (
+    SweepOutcome,
+    fault_counts,
+    run_sweep,
+    sweep_params,
+)
 from repro.runner.executor import execute_cell, run_cells
 from repro.runner.jobs import CellResult, JobSpec, build_specs, cell_key
 from repro.runner.store import Run, RunStore, git_revision
@@ -47,6 +52,6 @@ from repro.runner.store import Run, RunStore, git_revision
 __all__ = [
     "CellDelta", "CellResult", "JobSpec", "Run", "RunComparison",
     "RunStore", "SweepOutcome", "build_specs", "cell_key", "compare_runs",
-    "execute_cell", "git_revision", "run_cells", "run_sweep",
-    "sweep_params",
+    "execute_cell", "fault_counts", "git_revision", "run_cells",
+    "run_sweep", "sweep_params",
 ]

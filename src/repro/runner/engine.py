@@ -59,7 +59,7 @@ class SweepOutcome:
         # source (and cache configuration) of the run that produced
         # them.
         counts = provenance_counts(self.results, skip=self.restored_keys)
-        return {
+        out = {
             "run_id": self.run_id,
             "cells": len(self.results),
             "executed": self.executed,
@@ -78,6 +78,16 @@ class SweepOutcome:
                              if r.key not in self.restored_keys),
             "wall_time_total": sum(r.wall_time for r in self.results),
         }
+        # Fault-injection rollups, only when the sweep had any: keeps
+        # clean-sweep summaries (and everything rendered from them)
+        # unchanged.
+        fault = fault_counts(self.results)
+        if fault:
+            out["fault_counters"] = fault
+        poisoned = sum(1 for r in self.results if r.poisoned)
+        if poisoned:
+            out["poisoned"] = poisoned
+        return out
 
 
 def provenance_counts(results: Sequence[CellResult], *,
@@ -118,6 +128,35 @@ def _source_counts(executed: Sequence[CellResult]) -> Dict[str, Any]:
     return provenance_counts(executed)
 
 
+def fault_counts(results: Sequence[CellResult]) -> Dict[str, Any]:
+    """Fault-injection rollup over a set of cell results.
+
+    Two families, shaped like the ``store_counters`` payload so the
+    manifest stamp reuses :func:`_merge_counts` across resumed
+    invocations: ``meters`` sums the injected-event counters out of the
+    cell metrics, ``verdicts`` counts cells per fault verdict.  Empty
+    (falsy) when no cell ran under a fault plan.
+    """
+    meters: Dict[str, int] = {}
+    verdicts: Dict[str, int] = {}
+    for result in results:
+        record = result.record
+        if record is None or not record.get("fault_profile"):
+            continue
+        verdict = record.get("fault_verdict") or "unknown"
+        verdicts[verdict] = verdicts.get(verdict, 0) + 1
+        metrics = record.get("metrics") or {}
+        for name in ("faults_dropped", "faults_duplicated", "nodes_crashed"):
+            if metrics.get(name):
+                meters[name] = meters.get(name, 0) + metrics[name]
+    out: Dict[str, Any] = {}
+    if verdicts:
+        out["verdicts"] = verdicts
+    if meters:
+        out["meters"] = meters
+    return out
+
+
 def _merge_counts(base: Optional[Dict[str, Any]],
                   update: Dict[str, Any]) -> Dict[str, Any]:
     """Union of two ``_source_counts`` payloads (per-family key sums).
@@ -139,16 +178,30 @@ def _merge_counts(base: Optional[Dict[str, Any]],
 
 def sweep_params(names: Optional[Sequence[str]],
                  sizes: Optional[Sequence[int]],
-                 seeds: Sequence[int]) -> Dict[str, Any]:
-    """The manifest/resume identity of a sweep's parameters."""
-    return {"names": None if names is None else list(names),
-            "sizes": None if sizes is None else list(sizes),
-            "seeds": list(seeds)}
+                 seeds: Sequence[int],
+                 faults: Optional[Sequence[str]] = None,
+                 fault_seed: int = 0) -> Dict[str, Any]:
+    """The manifest/resume identity of a sweep's parameters.
+
+    Fault keys join the identity only for faulted sweeps, so every
+    fault-free params payload (and params_key) is byte-stable across
+    the introduction of the fault plane.
+    """
+    params: Dict[str, Any] = {
+        "names": None if names is None else list(names),
+        "sizes": None if sizes is None else list(sizes),
+        "seeds": list(seeds)}
+    if faults is not None:
+        params["faults"] = list(faults)
+        params["fault_seed"] = fault_seed
+    return params
 
 
 def run_sweep(names: Optional[Sequence[str]] = None, *,
               sizes: Optional[Sequence[int]] = None,
               seeds: Sequence[int] = (0,),
+              faults: Optional[Sequence[str]] = None,
+              fault_seed: int = 0,
               workers: int = 1,
               timeout: Optional[float] = None,
               retries: int = 0,
@@ -173,7 +226,18 @@ def run_sweep(names: Optional[Sequence[str]] = None, *,
     names/sizes/seeds still name the sweep in the manifest.
     ``retries`` is the per-cell retry budget: timed-out/crashed cells
     are re-queued up to that many extra times before being recorded as
-    failures (the cell record carries ``attempts``).
+    failures (the cell record carries ``attempts``).  A cell that
+    repeatedly kills its worker process is recorded as a *poisoned*
+    error result after the budget and skipped by resumed runs (see
+    :func:`repro.runner.executor.run_cells`).
+
+    ``faults`` selects named fault profiles
+    (:mod:`repro.congest.faults`): every matrix cell runs once per
+    profile under a seeded fault plan derived from ``fault_seed``, and
+    the manifest gains merged ``fault_counters`` (injected-event meters
+    + verdict counts).  Same profiles + same ``fault_seed`` replay to
+    byte-identical records.  Unknown profile names raise ``KeyError``
+    before any worker is spawned.
 
     ``graph_store_dir`` / ``oracle_store_dir`` /
     ``decomposition_store_dir`` connect the on-disk artifact store
@@ -219,14 +283,22 @@ def run_sweep(names: Optional[Sequence[str]] = None, *,
     if decomposition_store_dir is not None:
         decomposition_cache.configure_store(decomposition_store_dir)
 
-    specs = (build_specs(names, sizes=sizes, seeds=seeds)
+    if faults is not None:
+        from repro.congest.faults import get_fault_profile
+
+        faults = list(faults)
+        for name in faults:  # validate before any worker is spawned
+            get_fault_profile(name)
+
+    specs = (build_specs(names, sizes=sizes, seeds=seeds,
+                         faults=faults, fault_seed=fault_seed)
              if specs is None else list(specs))
 
     run: Optional[Run] = None
     resumed = False
     cached: Dict[str, CellResult] = {}
     if store is not None:
-        params = sweep_params(names, sizes, seeds)
+        params = sweep_params(names, sizes, seeds, faults, fault_seed)
         revision = git_revision() if revision is None else revision
         if not fresh:
             run = store.find_resumable(params, revision)
@@ -268,7 +340,9 @@ def run_sweep(names: Optional[Sequence[str]] = None, *,
         log.sweep_begin(run_id=run.run_id, revision=run.revision,
                         resumed=resumed, planned=len(specs),
                         restored=len(cached), todo=len(todo),
-                        workers=workers, timeout=timeout, retries=retries)
+                        workers=workers, timeout=timeout, retries=retries,
+                        faults=faults, fault_seed=(fault_seed
+                                                   if faults else None))
         for spec in todo:
             log.cell_scheduled(spec)
 
@@ -292,7 +366,9 @@ def run_sweep(names: Optional[Sequence[str]] = None, *,
         executed = run_cells(todo, workers=workers, timeout=timeout,
                              retries=retries, on_result=persist,
                              on_start=None if log is None
-                             else log.cell_started)
+                             else log.cell_started,
+                             on_pool_crash=None if log is None
+                             else log.pool_crashed)
         interrupted = False
     finally:
         if run is not None:
@@ -301,9 +377,17 @@ def run_sweep(names: Optional[Sequence[str]] = None, *,
             # or computed fresh -- merged with any prior invocations'
             # counters so a resumed run's manifest reflects the union
             # of all executed cells.
-            run.update_manifest({"store_counters": _merge_counts(
+            stamp = {"store_counters": _merge_counts(
                 run.manifest.get("store_counters"),
-                _source_counts(completed))})
+                _source_counts(completed))}
+            # Fault counters: merged the same way, stamped only when
+            # this run has any (this or a prior invocation), so clean
+            # runs' manifests keep their pre-fault-plane key set.
+            fault_update = fault_counts(completed)
+            if fault_update or run.manifest.get("fault_counters"):
+                stamp["fault_counters"] = _merge_counts(
+                    run.manifest.get("fault_counters"), fault_update)
+            run.update_manifest(stamp)
         if log is not None:
             log.sweep_end(executed=len(completed), restored=len(cached),
                           interrupted=interrupted)

@@ -20,11 +20,14 @@ degrades to plain no-alarm wall-time metering rather than failing.
 
 from __future__ import annotations
 
+import os
 import signal
 import threading
 import time
 import traceback
+from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
 from typing import Callable, List, Optional, Sequence
 
@@ -32,6 +35,17 @@ from repro.runner.jobs import DONE, ERROR, TIMEOUT, CellResult, JobSpec
 
 OnResult = Callable[[CellResult], None]
 OnStart = Callable[[JobSpec, int], None]
+OnPoolCrash = Callable[[List[JobSpec], int], None]
+
+# Set by the pool initializer in worker processes only; lets the crash
+# instrumentation distinguish "kill this worker" (pool mode) from "would
+# kill the whole test process" (in-process mode).
+_IN_WORKER = False
+
+
+def _mark_worker() -> None:
+    global _IN_WORKER
+    _IN_WORKER = True
 
 
 class CellTimeout(Exception):
@@ -81,13 +95,25 @@ def execute_cell(spec: JobSpec,
     """
     from repro.testing.differential import run_differential
 
+    if spec.crash:
+        # Crash instrumentation for the BrokenProcessPool tests: kill
+        # the executing *worker* abruptly (no cleanup, like an OOM
+        # kill).  In-process there is no worker to kill -- record an
+        # error instead of taking down the caller.
+        if _IN_WORKER:
+            os._exit(1)
+        return CellResult(spec=spec, status=ERROR, wall_time=0.0,
+                          error="crash instrumentation requires a "
+                                "worker pool (workers > 1)")
     start = time.perf_counter()
     try:
         with _cell_alarm(timeout):
             if spec.delay:
                 time.sleep(spec.delay)
             record = run_differential(spec.scenario, spec.algorithm,
-                                      size=spec.size, seed=spec.seed)
+                                      size=spec.size, seed=spec.seed,
+                                      faults=spec.faults,
+                                      fault_seed=spec.fault_seed)
         return CellResult(spec=spec, status=DONE,
                           wall_time=time.perf_counter() - start,
                           record=record.as_dict())
@@ -116,7 +142,9 @@ def run_cells(specs: Sequence[JobSpec], *, workers: int = 1,
               timeout: Optional[float] = None,
               retries: int = 0,
               on_result: Optional[OnResult] = None,
-              on_start: Optional[OnStart] = None) -> List[CellResult]:
+              on_start: Optional[OnStart] = None,
+              on_pool_crash: Optional[OnPoolCrash] = None,
+              backoff: float = 0.5) -> List[CellResult]:
     """Execute every spec; return results in submitted spec order.
 
     ``retries`` is the per-cell retry budget: a cell whose attempt ends
@@ -142,12 +170,24 @@ def run_cells(specs: Sequence[JobSpec], *, workers: int = 1,
     everything already persisted stays persisted.
 
     ``execute_cell`` never raises, so a future that raises signals pool
-    infrastructure failure (e.g. an OOM-killed worker breaking the
-    pool).  Such cells -- which may never have been attempted -- come
-    back as ``status=error`` results but are *not* fed to ``on_result``
-    (persisting them would mark the run complete and stop resume from
-    ever retrying cells the broken pool never ran), and are not
-    retried either: the pool itself is no longer trustworthy.
+    infrastructure failure.  A worker process dying abruptly (OOM kill,
+    segfault, ``os._exit``) breaks the whole
+    :class:`ProcessPoolExecutor`; instead of aborting the sweep, the
+    executor **rebuilds the pool** (with exponential ``backoff``) and
+    re-runs the cells that were in flight *one at a time*, so a repeat
+    crash is attributable to the single cell that was executing.  A
+    cell that kills its worker while running solo collects a strike;
+    after ``retries + 1`` strikes it is recorded as a **poisoned**
+    ``error`` result -- fed to ``on_result`` and persisted, so the run
+    completes and a resumed run skips the cell instead of re-killing
+    the pool.  ``on_pool_crash`` (if given) fires after each rebuild
+    with the specs that were in flight and the total rebuild count.
+
+    Future exceptions *other* than ``BrokenProcessPool`` (e.g. a result
+    that fails to unpickle) keep the old semantics: the cell comes back
+    as a ``status=error`` result but is *not* fed to ``on_result``
+    (persisting it would stop resume from retrying a cell that may
+    never have run) and is not retried.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
@@ -174,45 +214,107 @@ def run_cells(specs: Sequence[JobSpec], *, workers: int = 1,
     slots: List[Optional[CellResult]] = [None] * len(specs)
     attempts = [1] * len(specs)
     previous: List[Optional[CellResult]] = [None] * len(specs)
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        pending = {}
-        try:
-            for i, spec in enumerate(specs):
-                if on_start is not None:
-                    on_start(spec, 1)
-                pending[pool.submit(execute_cell, spec, timeout)] = i
-            while pending:
-                finished, _ = wait(pending, return_when=FIRST_COMPLETED)
-                for future in finished:
-                    index = pending.pop(future)
-                    try:
-                        result = future.result()
-                    except Exception:
-                        slots[index] = CellResult(
-                            spec=specs[index], status=ERROR, wall_time=0.0,
-                            error=traceback.format_exc(limit=4),
-                            attempts=attempts[index])
-                        continue
-                    result = _merge_attempts(result, previous[index],
-                                             attempts[index])
-                    if result.status != DONE and attempts[index] <= retries:
-                        # Re-queue the failed cell on the pool; only its
-                        # final outcome is recorded.
-                        attempts[index] += 1
-                        previous[index] = result
-                        if on_start is not None:
-                            on_start(specs[index], attempts[index])
-                        pending[pool.submit(execute_cell, specs[index],
-                                            timeout)] = index
-                        continue
+    strikes = [0] * len(specs)         # solo worker kills per cell
+    queue = deque(range(len(specs)))   # not yet dispatched
+    isolation: deque = deque()         # re-run solo after a pool crash
+    # Bounded dispatch window (instead of submitting the whole sweep up
+    # front) so a pool crash only takes a handful of in-flight cells
+    # with it -- the rest of the queue is untouched by the rebuild.
+    window = workers * 2
+    pending = {}
+    rebuilds = 0
+    pool = ProcessPoolExecutor(max_workers=workers, initializer=_mark_worker)
+
+    def dispatch(index: int) -> None:
+        if on_start is not None:
+            on_start(specs[index], attempts[index])
+        pending[pool.submit(execute_cell, specs[index], timeout)] = index
+
+    def rebuild_pool() -> None:
+        nonlocal pool, rebuilds
+        rebuilds += 1
+        pool.shutdown(wait=False, cancel_futures=True)
+        time.sleep(min(backoff * (2 ** (rebuilds - 1)), 2.0))
+        pool = ProcessPoolExecutor(max_workers=workers,
+                                   initializer=_mark_worker)
+
+    def handle_result(index: int, result: CellResult) -> None:
+        result = _merge_attempts(result, previous[index], attempts[index])
+        if result.status != DONE and attempts[index] <= retries:
+            # Re-queue the failed cell; only its final outcome is
+            # recorded.  (Back through the normal queue -- failure via
+            # a result is not a pool hazard.)
+            attempts[index] += 1
+            previous[index] = result
+            queue.append(index)
+            return
+        slots[index] = result
+        if on_result is not None:
+            on_result(result)
+
+    try:
+        while queue or isolation or pending:
+            if isolation:
+                # Isolation phase: exactly one cell in flight, so if
+                # the pool breaks again the strike is attributable.
+                if not pending:
+                    dispatch(isolation.popleft())
+            else:
+                while queue and len(pending) < window:
+                    dispatch(queue.popleft())
+            in_flight = list(pending.values())
+            finished, _ = wait(pending, return_when=FIRST_COMPLETED)
+            crashed: List[int] = []
+            for future in finished:
+                index = pending.pop(future)
+                try:
+                    result = future.result()
+                except BrokenProcessPool:
+                    crashed.append(index)
+                    continue
+                except Exception:
+                    slots[index] = CellResult(
+                        spec=specs[index], status=ERROR, wall_time=0.0,
+                        error=traceback.format_exc(limit=4),
+                        attempts=attempts[index])
+                    continue
+                handle_result(index, result)
+            if not crashed:
+                continue
+            # A worker died and broke the pool.  Every other in-flight
+            # future is dead too; collect them all, rebuild the pool,
+            # and re-run the casualties solo.
+            for future, index in list(pending.items()):
+                crashed.append(index)
+            pending.clear()
+            rebuild_pool()
+            if on_pool_crash is not None:
+                on_pool_crash([specs[i] for i in crashed], rebuilds)
+            solo = len(in_flight) == 1
+            for index in sorted(crashed):
+                if solo:
+                    strikes[index] += 1
+                if strikes[index] > retries:
+                    result = CellResult(
+                        spec=specs[index], status=ERROR,
+                        wall_time=(previous[index].wall_time
+                                   if previous[index] else 0.0),
+                        error=(f"worker process died while executing this "
+                               f"cell ({strikes[index]} solo attempt(s)); "
+                               f"cell poisoned -- resumed runs will skip "
+                               f"it"),
+                        attempts=attempts[index], poisoned=True)
                     slots[index] = result
                     if on_result is not None:
                         on_result(result)
-        except BaseException:
-            # on_result raised (or Ctrl-C): don't let the with-block's
-            # shutdown(wait=True) grind through the whole queue first.
-            for future in pending:
-                future.cancel()
-            pool.shutdown(wait=False, cancel_futures=True)
-            raise
+                else:
+                    attempts[index] += 1
+                    isolation.append(index)
+    except BaseException:
+        # on_result raised (or Ctrl-C): don't grind through the queue.
+        for future in pending:
+            future.cancel()
+        pool.shutdown(wait=False, cancel_futures=True)
+        raise
+    pool.shutdown(wait=True)
     return [result for result in slots if result is not None]

@@ -31,9 +31,11 @@ CellIdentity = Tuple[str, str, int, int]
 # lru / store / none), and ``decomposition_source`` where its input
 # decomposition snapshot came from (same vocabulary) -- provenance that
 # depends on cache and store state, never on the cell's deterministic
-# payload.
+# payload.  ``fault_source`` is the fault plan's provenance label (which
+# profile realized it) -- pinned here so fault replays compare on the
+# injected payload, not the label.
 NONDETERMINISTIC_FIELDS = ("wall_time", "graph_source", "oracle_source",
-                           "decomposition_source")
+                           "decomposition_source", "fault_source")
 
 
 def error_headline(error: Optional[str]) -> str:
@@ -42,12 +44,19 @@ def error_headline(error: Optional[str]) -> str:
     return lines[-1] if lines else ""
 
 
-def cell_key(scenario: str, algorithm: str, size: int, seed: int) -> str:
-    """The content-addressed cell id: stable across processes and runs."""
-    payload = json.dumps(
-        {"scenario": scenario, "algorithm": algorithm,
-         "size": size, "seed": seed},
-        sort_keys=True, separators=(",", ":"))
+def cell_key(scenario: str, algorithm: str, size: int, seed: int,
+             faults: Optional[str] = None, fault_seed: int = 0) -> str:
+    """The content-addressed cell id: stable across processes and runs.
+
+    Fault coordinates join the payload only for faulted cells, so every
+    fault-free key is unchanged from before the fault plane existed.
+    """
+    coords: Dict[str, Any] = {"scenario": scenario, "algorithm": algorithm,
+                              "size": size, "seed": seed}
+    if faults is not None:
+        coords["faults"] = faults
+        coords["fault_seed"] = fault_seed
+    payload = json.dumps(coords, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:20]
 
 
@@ -55,11 +64,17 @@ def cell_key(scenario: str, algorithm: str, size: int, seed: int) -> str:
 class JobSpec:
     """One sweep cell, small enough to pickle to a worker process.
 
-    ``delay`` is fault-injection instrumentation for the timeout tests:
-    the executor sleeps that many seconds before running the cell, which
-    lets tests exercise the per-cell timeout path with real worker
-    processes.  It is excluded from the cell key -- identity is the four
-    matrix coordinates only.
+    ``faults``/``fault_seed`` select a named fault profile for the cell;
+    they are part of the cell key (a faulted cell is a different cell
+    than its clean twin), serialized only when set so fault-free spec
+    rows are byte-identical to the pre-fault format.
+
+    ``delay`` and ``crash`` are test instrumentation: the executor
+    sleeps ``delay`` seconds before running the cell (exercises the
+    per-cell timeout path), and ``crash`` makes a pool worker
+    ``os._exit(1)`` mid-cell (exercises the BrokenProcessPool /
+    poison-quarantine path).  Both are excluded from the cell key --
+    identity is the matrix + fault coordinates only.
     """
 
     scenario: str
@@ -67,6 +82,9 @@ class JobSpec:
     size: int
     seed: int = 0
     delay: float = 0.0
+    faults: Optional[str] = None
+    fault_seed: int = 0
+    crash: bool = False
 
     @property
     def identity(self) -> CellIdentity:
@@ -74,17 +92,25 @@ class JobSpec:
 
     @property
     def key(self) -> str:
-        return cell_key(self.scenario, self.algorithm, self.size, self.seed)
+        return cell_key(self.scenario, self.algorithm, self.size, self.seed,
+                        self.faults, self.fault_seed)
 
     def as_dict(self) -> Dict[str, Any]:
-        return {"scenario": self.scenario, "algorithm": self.algorithm,
-                "size": self.size, "seed": self.seed}
+        out: Dict[str, Any] = {
+            "scenario": self.scenario, "algorithm": self.algorithm,
+            "size": self.size, "seed": self.seed}
+        if self.faults is not None:
+            out["faults"] = self.faults
+            out["fault_seed"] = self.fault_seed
+        return out
 
     @classmethod
     def from_dict(cls, payload: Dict[str, Any]) -> "JobSpec":
         return cls(scenario=payload["scenario"],
                    algorithm=payload["algorithm"],
-                   size=payload["size"], seed=payload["seed"])
+                   size=payload["size"], seed=payload["seed"],
+                   faults=payload.get("faults"),
+                   fault_seed=payload.get("fault_seed", 0))
 
 
 # Cell execution statuses.
@@ -105,6 +131,11 @@ class CellResult:
     first-try outcome, more when the executor's retry budget re-queued
     a timed-out or crashed cell (``wall_time`` is the total across
     attempts).
+
+    ``poisoned`` marks a cell that repeatedly killed its worker process:
+    the executor gave up after its retry budget, recorded the cell as
+    ``error``, and a resumed run will *skip* it (the record is in the
+    store) instead of re-killing the pool.
     """
 
     spec: JobSpec
@@ -113,6 +144,7 @@ class CellResult:
     record: Optional[Dict[str, Any]] = None
     error: Optional[str] = None
     attempts: int = 1
+    poisoned: bool = False
 
     @property
     def passed(self) -> bool:
@@ -133,10 +165,13 @@ class CellResult:
         return payload
 
     def as_dict(self) -> Dict[str, Any]:
-        return {"key": self.key, "spec": self.spec.as_dict(),
-                "status": self.status, "wall_time": self.wall_time,
-                "record": self.record, "error": self.error,
-                "attempts": self.attempts}
+        out = {"key": self.key, "spec": self.spec.as_dict(),
+               "status": self.status, "wall_time": self.wall_time,
+               "record": self.record, "error": self.error,
+               "attempts": self.attempts}
+        if self.poisoned:
+            out["poisoned"] = True
+        return out
 
     @classmethod
     def from_dict(cls, payload: Dict[str, Any]) -> "CellResult":
@@ -145,22 +180,30 @@ class CellResult:
                    wall_time=payload["wall_time"],
                    record=payload.get("record"),
                    error=payload.get("error"),
-                   attempts=payload.get("attempts", 1))
+                   attempts=payload.get("attempts", 1),
+                   poisoned=payload.get("poisoned", False))
 
 
 def build_specs(names: Optional[Iterable[str]] = None, *,
                 sizes: Optional[Sequence[int]] = None,
-                seeds: Sequence[int] = (0,)) -> List[JobSpec]:
+                seeds: Sequence[int] = (0,),
+                faults: Optional[Sequence[Optional[str]]] = None,
+                fault_seed: int = 0) -> List[JobSpec]:
     """The sweep work-list, in the canonical deterministic order.
 
     Mirrors :func:`repro.testing.sweep`: scenarios sorted by name, each
     at its tier-1 ``default_size`` unless explicit ``sizes`` are given,
-    under every bound algorithm, for every caller seed.
+    under every bound algorithm, for every caller seed.  ``faults`` is
+    an optional sequence of fault-profile names crossed into the matrix
+    as the innermost axis (``None`` entries mean fault-free cells, so a
+    sweep can mix clean and faulted twins of the same coordinates).
     """
     from repro.scenarios import all_scenarios, get_scenario
 
     scenarios = (all_scenarios() if names is None
                  else [get_scenario(name) for name in names])
+    profiles: Sequence[Optional[str]] = ((None,) if faults is None
+                                         else list(faults))
     specs: List[JobSpec] = []
     for scenario in scenarios:
         run_sizes = ([scenario.default_size] if sizes is None
@@ -168,6 +211,9 @@ def build_specs(names: Optional[Iterable[str]] = None, *,
         for size in run_sizes:
             for algorithm in scenario.algorithms:
                 for seed in seeds:
-                    specs.append(JobSpec(scenario.name, algorithm,
-                                         size, seed))
+                    for profile in profiles:
+                        specs.append(JobSpec(
+                            scenario.name, algorithm, size, seed,
+                            faults=profile,
+                            fault_seed=fault_seed if profile else 0))
     return specs

@@ -34,9 +34,10 @@ from repro.scenarios.bindings import (
     get_binding,
 )
 from repro.scenarios import catalog  # noqa: F401  (registers the entries)
+from repro.scenarios.catalog import FAULT_AXIS, fault_cells
 
 __all__ = [
-    "BINDINGS", "Binding", "BindingResult", "Envelope", "Scenario",
-    "all_scenarios", "get_binding", "get_scenario", "register",
-    "scenario_names", "select",
+    "BINDINGS", "Binding", "BindingResult", "Envelope", "FAULT_AXIS",
+    "Scenario", "all_scenarios", "fault_cells", "get_binding",
+    "get_scenario", "register", "scenario_names", "select",
 ]

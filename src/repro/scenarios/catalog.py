@@ -59,6 +59,7 @@ and ``--scenario-size`` a meaningful sweep.
 from __future__ import annotations
 
 import math
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.graphs import (
     augmenting_chain,
@@ -80,7 +81,7 @@ from repro.graphs import (
     torus,
     uniform_weights,
 )
-from repro.scenarios.registry import Scenario, register
+from repro.scenarios.registry import Scenario, get_scenario, register
 
 
 def _grid_build(size: int, seed: int):
@@ -303,3 +304,50 @@ register(Scenario(
     build=lambda size, seed: augmenting_chain(max(1, (size - 2) // 2)),
     algorithms=("matching",), bipartite=True, randomized=False,
     default_size=12, sizes=(12, 16, 24), tags=("matching", "adversarial")))
+
+
+# ---------------------------------------------------------------------------
+# The fault axis: which topologies each named fault profile
+# (repro.congest.faults.PROFILES) is most informative on.  A profile x
+# scenario pair is one *chaos cell*: the scenario's matrix cells re-run
+# under the profile's seeded fault plan and are judged against the
+# fault-free oracle (correct-under-faults / degraded / diverged).  The
+# curation keeps the chaos matrix small enough for CI smoke sweeps
+# while still crossing every fault mode with the regimes it stresses:
+# loss and duplication against both dense and minimally-connected
+# graphs, link failures against bridge-dominated shapes (one dead
+# bridge partitions the dumbbell), churn against shapes whose
+# correctness depends on every node surviving.
+FAULT_AXIS: Dict[str, Tuple[str, ...]] = {
+    "lossy-light": ("dense-gnp", "sparse-gnp", "random-tree"),
+    "lossy-heavy": ("dense-gnp", "path", "expander-regular"),
+    "dup-storm": ("dense-gnp", "cycle", "random-tree"),
+    "reorder-heavy": ("path", "grid", "complete"),
+    "flaky-links": ("dumbbell", "patched-islands", "random-tree"),
+    "churn": ("dense-gnp", "expander-regular", "grid"),
+    "chaos": ("dense-gnp", "dumbbell", "random-tree"),
+}
+
+
+def fault_cells(profiles: Optional[Iterable[str]] = None
+                ) -> List[Tuple[str, str]]:
+    """The chaos matrix: sorted ``(profile, scenario)`` cells.
+
+    ``profiles=None`` covers the whole axis; an explicit iterable
+    restricts it (unknown profile names raise ``KeyError`` here, before
+    any sweep machinery spins up).
+    """
+    from repro.congest.faults import get_fault_profile
+
+    selected = sorted(FAULT_AXIS) if profiles is None else list(profiles)
+    cells: List[Tuple[str, str]] = []
+    for profile in selected:
+        get_fault_profile(profile)  # validate against the registry
+        if profile not in FAULT_AXIS:
+            raise KeyError(
+                f"fault profile {profile!r} has no scenario axis; "
+                f"known: {', '.join(sorted(FAULT_AXIS))}")
+        for scenario in FAULT_AXIS[profile]:
+            get_scenario(scenario)  # catalog drift guard
+            cells.append((profile, scenario))
+    return cells

@@ -36,6 +36,7 @@ benchmarks.
 
 from repro.store.artifacts import (
     DEFAULT_STORE_DIR,
+    QUARANTINE_DIR,
     SCHEMA_VERSION,
     ArtifactEntry,
     ArtifactStore,
@@ -76,7 +77,8 @@ __all__ = [
     "BENCH_HISTORY_FAMILY", "BenchHistoryRecord", "BenchHistoryStore",
     "DECOMPOSITION_FAMILY", "DEFAULT_STORE_DIR", "DecompositionStore",
     "GRAPH_FAMILY", "GateVerdict", "GraphStore", "ORACLE_FAMILY",
-    "OracleStore", "SCHEMA_VERSION", "all_families", "artifact_key",
+    "OracleStore", "QUARANTINE_DIR", "SCHEMA_VERSION", "all_families",
+    "artifact_key",
     "decomposition_key", "family_names", "get_family", "graph_key",
     "history_key", "host_class", "oracle_key", "register_family",
     "rolling_gate", "warm", "warm_decompositions", "warm_oracles",

@@ -34,8 +34,10 @@ The design constraints, in order:
 * **Corruption must degrade to a rebuild, not an error.**  ``open``
   validates the manifest schema and every declared array (existence,
   byte size, dtype, shape) before returning; a truncated or mangled
-  entry is quarantined (removed best-effort) and reported as a miss so
-  the caller rebuilds and republishes.
+  entry is quarantined (moved under ``.quarantine/<kind>/`` for
+  post-mortem inspection) and reported as a miss so the caller
+  rebuilds and republishes.  ``stat`` counts what sits in quarantine
+  per family; ``gc`` drains it.
 """
 
 from __future__ import annotations
@@ -61,6 +63,12 @@ from repro.store.families import ArtifactFamily
 SCHEMA_VERSION = 1
 MANIFEST_NAME = "manifest.json"
 TMP_PREFIX = ".tmp-"
+
+# Where `open` moves corrupt entries instead of deleting them: one
+# subtree per family, entries renamed `<key>-<uuid8>` so repeated
+# corruption of the same key never collides.  Dot-prefixed so `ls`
+# never mistakes it for an artifact family.
+QUARANTINE_DIR = ".quarantine"
 
 # A temp directory older than this is a crashed publisher's leftover;
 # younger ones may belong to a *live* concurrent publisher and must
@@ -278,10 +286,23 @@ class ArtifactStore:
             arrays[name] = array
         return manifest, arrays
 
-    @staticmethod
-    def _quarantine(path: Path) -> None:
-        """Best-effort removal of a corrupt entry so it gets rebuilt."""
-        shutil.rmtree(path, ignore_errors=True)
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry aside so it gets rebuilt.
+
+        The entry lands under ``.quarantine/<kind>/<key>-<uuid8>`` --
+        out of the addressable namespace (so the next ``open`` is a
+        clean miss) but still on disk for post-mortem inspection
+        until ``gc`` drains it.  A rename that fails (cross-device
+        root shuffling, permissions) degrades to the old behavior:
+        best-effort removal.
+        """
+        kind = path.parent.parent.name
+        dest_dir = self.root / QUARANTINE_DIR / kind
+        try:
+            dest_dir.mkdir(parents=True, exist_ok=True)
+            os.rename(path, dest_dir / f"{path.name}-{uuid.uuid4().hex[:8]}")
+        except OSError:
+            shutil.rmtree(path, ignore_errors=True)
 
     # ------------------------------------------------------------------
     # Inventory and maintenance
@@ -291,7 +312,8 @@ class ArtifactStore:
         if not self.root.is_dir():
             return []
         kinds = ([kind] if kind is not None else
-                 sorted(p.name for p in self.root.iterdir() if p.is_dir()))
+                 sorted(p.name for p in self.root.iterdir()
+                        if p.is_dir() and not p.name.startswith(".")))
         entries: List[ArtifactEntry] = []
         for k in kinds:
             kind_root = self.root / k
@@ -315,20 +337,46 @@ class ArtifactStore:
         entries.sort(key=lambda e: (e.created_at, e.key))
         return entries
 
+    def quarantined_counts(self, kind: Optional[str] = None
+                           ) -> Dict[str, int]:
+        """Per-family counts of quarantined (corrupt, moved-aside)
+        entries, optionally scoped to one family.  Empty when clean."""
+        qroot = self.root / QUARANTINE_DIR
+        if not qroot.is_dir():
+            return {}
+        counts: Dict[str, int] = {}
+        for kind_root in sorted(qroot.iterdir()):
+            if not kind_root.is_dir():
+                continue
+            if kind is not None and kind_root.name != kind:
+                continue
+            count = sum(1 for p in kind_root.iterdir() if p.is_dir())
+            if count:
+                counts[kind_root.name] = count
+        return counts
+
     def stat(self, kind: Optional[str] = None) -> Dict[str, Any]:
         """Aggregate store statistics (optionally one family) for
-        ``repro store stat``: totals plus a per-family breakdown."""
+        ``repro store stat``: totals plus a per-family breakdown,
+        including how many corrupt entries each family has sitting in
+        quarantine (``gc`` drains them)."""
         entries = self.ls(kind)
+        quarantined = self.quarantined_counts(kind)
         by_family: Dict[str, Dict[str, int]] = {}
         for entry in entries:
             bucket = by_family.setdefault(entry.kind,
                                           {"entries": 0, "bytes": 0})
             bucket["entries"] += 1
             bucket["bytes"] += entry.nbytes
+        for family, count in quarantined.items():
+            bucket = by_family.setdefault(family,
+                                          {"entries": 0, "bytes": 0})
+            bucket["quarantined"] = count
         return {
             "root": str(self.root),
             "entries": len(entries),
             "bytes": sum(e.nbytes for e in entries),
+            "quarantined": sum(quarantined.values()),
             "families": by_family,
         }
 
@@ -341,7 +389,8 @@ class ArtifactStore:
 
     def gc(self, keep_last: Optional[int] = None,
            max_bytes: Optional[int] = None,
-           kind: Optional[str] = None) -> List[ArtifactEntry]:
+           kind: Optional[str] = None,
+           dry_run: bool = False) -> List[ArtifactEntry]:
         """Prune old entries; return what was removed.
 
         ``keep_last`` keeps only the N newest entries (by publication
@@ -350,7 +399,11 @@ class ArtifactStore:
         ``kind`` scopes both budgets to one artifact family, so graph
         snapshots and oracle outputs can be pruned independently
         (entries of other families are neither counted nor touched).
-        Stray temp directories from crashed writers are always swept.
+        Stray temp directories from crashed writers and quarantined
+        corrupt entries (scoped by ``kind``) are also drained.
+        ``dry_run`` reports what *would* be removed without deleting
+        anything -- no entry removal, no temp sweep, no quarantine
+        drain.
         """
         removed: List[ArtifactEntry] = []
         entries = self.ls(kind)
@@ -370,10 +423,23 @@ class ArtifactStore:
                 victim = survivors.pop(0)
                 total -= victim.nbytes
                 removed.append(victim)
+        if dry_run:
+            return removed
         for entry in removed:
             shutil.rmtree(entry.path, ignore_errors=True)
+        self._drain_quarantine(kind)
         self._sweep_tmp()
         return removed
+
+    def _drain_quarantine(self, kind: Optional[str] = None) -> None:
+        """Delete quarantined entries (optionally one family's)."""
+        qroot = self.root / QUARANTINE_DIR
+        if not qroot.is_dir():
+            return
+        targets = [qroot / kind] if kind is not None \
+            else [p for p in qroot.iterdir() if p.is_dir()]
+        for target in targets:
+            shutil.rmtree(target, ignore_errors=True)
 
     def _sweep_tmp(self) -> None:
         """Remove leftover temp directories from *crashed* publishers.

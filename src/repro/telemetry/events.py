@@ -19,6 +19,7 @@ Event kinds::
     finished      the cell completed with a record (passed either way)
     timed_out     the cell exceeded its per-cell wall-time budget
     errored       the cell raised (or its worker died)
+    pool_crashed  a worker death broke the pool; it was rebuilt
     sweep_end     one per invocation: executed count + interrupted flag
 
 Writes are append + flush per event.  Telemetry is advisory -- the
@@ -45,14 +46,18 @@ RETRIED = "retried"
 FINISHED = "finished"
 TIMED_OUT = "timed_out"
 ERRORED = "errored"
+POOL_CRASHED = "pool_crashed"
 SWEEP_END = "sweep_end"
 
 # CellResult.status -> completion event kind.
 _COMPLETION_EVENTS = {DONE: FINISHED, TIMEOUT: TIMED_OUT}
 
 # The metered summary lifted from a completed cell's record into its
-# completion event (the record keeps the full metrics dict).
-_METER_FIELDS = ("rounds", "messages", "max_edge_congestion")
+# completion event (the record keeps the full metrics dict).  The fault
+# counters appear in metrics -- and hence here -- only when events were
+# actually injected, so clean timelines are unchanged.
+_METER_FIELDS = ("rounds", "messages", "max_edge_congestion",
+                 "faults_dropped", "faults_duplicated", "nodes_crashed")
 
 
 def telemetry_path(run_path: "str | Path") -> Path:
@@ -114,11 +119,16 @@ class RunTelemetry:
     def sweep_begin(self, *, run_id: str, revision: str, resumed: bool,
                     planned: int, restored: int, todo: int,
                     workers: int, timeout: Optional[float],
-                    retries: int) -> None:
-        self.emit(SWEEP_BEGIN, run_id=run_id, revision=revision,
-                  resumed=resumed, planned=planned, restored=restored,
-                  todo=todo, workers=workers, timeout=timeout,
-                  retries=retries)
+                    retries: int, faults: Optional[List[str]] = None,
+                    fault_seed: Optional[int] = None) -> None:
+        fields: Dict[str, Any] = dict(
+            run_id=run_id, revision=revision, resumed=resumed,
+            planned=planned, restored=restored, todo=todo,
+            workers=workers, timeout=timeout, retries=retries)
+        if faults:
+            fields["faults"] = list(faults)
+            fields["fault_seed"] = fault_seed
+        self.emit(SWEEP_BEGIN, **fields)
 
     def cell_scheduled(self, spec: JobSpec) -> None:
         self.emit(SCHEDULED, key=spec.key, **spec.as_dict())
@@ -134,16 +144,29 @@ class RunTelemetry:
         fields.update(key=result.key, status=result.status,
                       wall_time=result.wall_time, attempts=result.attempts,
                       passed=result.passed)
+        if result.poisoned:
+            fields["poisoned"] = True
         record = result.record
         if record is not None:
             for name in ("graph_source", "oracle_source",
                          "decomposition_source"):
                 fields[name] = record.get(name)
+            if record.get("fault_profile"):
+                fields["fault_profile"] = record["fault_profile"]
+                fields["fault_verdict"] = record.get("fault_verdict")
             metrics = record.get("metrics") or {}
             for name in _METER_FIELDS:
                 if name in metrics:
                     fields[name] = metrics[name]
         self.emit(_COMPLETION_EVENTS.get(result.status, ERRORED), **fields)
+
+    def pool_crashed(self, in_flight: List[JobSpec],
+                     rebuilds: int) -> None:
+        """The executor's ``on_pool_crash`` hook: a worker death broke
+        the pool; the listed cells were in flight and will re-run solo
+        (or be poisoned)."""
+        self.emit(POOL_CRASHED, rebuilds=rebuilds,
+                  cells=[spec.key for spec in in_flight])
 
     def sweep_end(self, *, executed: int, restored: int,
                   interrupted: bool) -> None:

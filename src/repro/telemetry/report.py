@@ -105,12 +105,23 @@ def _slowest_rows(results: Sequence[CellResult], top: int) -> List[tuple]:
             for r in ranked]
 
 
+def _fault_summary(results: Sequence[CellResult]) -> Dict[str, Any]:
+    """Fault-injection totals over a run's record set (empty if clean)."""
+    from repro.runner.engine import fault_counts
+
+    out = fault_counts(results)
+    poisoned = sum(1 for r in results if r.poisoned)
+    if poisoned:
+        out["poisoned"] = poisoned
+    return out
+
+
 def run_report_payload(run, *, top: int = 10) -> Dict[str, Any]:
     """The ``repro runs report --json`` payload for one stored run."""
     results = run.load_results()
     events = load_events(telemetry_path(run.path))
     completions = [e for e in events if e.get("event") in _COMPLETION_KINDS]
-    return {
+    payload = {
         "run_id": run.run_id,
         "revision": run.revision,
         "state": "complete" if run.is_complete() else "incomplete",
@@ -135,6 +146,12 @@ def run_report_payload(run, *, top: int = 10) -> Dict[str, Any]:
              "oracles": row[3], "decompositions": row[4]}
             for row in _cache_efficacy_rows(completions)],
     }
+    # Fault-injection rollup, additive: absent for clean runs so their
+    # report payloads keep the pre-fault-plane key set.
+    faults = _fault_summary(results)
+    if faults:
+        payload["faults"] = faults
+    return payload
 
 
 def run_report(run, *, top: int = 10) -> str:
@@ -152,6 +169,17 @@ def run_report(run, *, top: int = 10) -> str:
     else:
         lines.append("telemetry: no telemetry.jsonl recorded for this run "
                      "(sweep predates it or ran with --no-telemetry)")
+    faults = payload.get("faults")
+    if faults:
+        verdicts = faults.get("verdicts") or {}
+        meters = faults.get("meters") or {}
+        parts = [f"{verdicts[v]} {v}" for v in sorted(verdicts)]
+        if meters:
+            parts.append(", ".join(f"{meters[m]} {m.replace('_', ' ')}"
+                                   for m in sorted(meters)))
+        if faults.get("poisoned"):
+            parts.append(f"{faults['poisoned']} poisoned cell(s)")
+        lines.append("fault injection: " + "; ".join(parts))
 
     if payload["slowest"]:
         lines.append("")

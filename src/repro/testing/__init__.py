@@ -11,6 +11,9 @@ Import surface for tests, benchmarks, and the CLI:
 """
 
 from repro.testing.differential import (
+    CORRECT_UNDER_FAULTS,
+    DEGRADED,
+    DIVERGED,
     DifferentialRecord,
     record_from_dict,
     run_differential,
@@ -20,6 +23,7 @@ from repro.testing.differential import (
 )
 
 __all__ = [
+    "CORRECT_UNDER_FAULTS", "DEGRADED", "DIVERGED",
     "DifferentialRecord", "record_from_dict", "run_differential",
     "run_scenario", "summarize", "sweep",
 ]

@@ -22,6 +22,13 @@ from typing import Any, Dict, Iterable, List, Optional
 
 from repro.scenarios import Scenario, get_binding, get_scenario
 
+# Fault-aware verdicts (recorded in ``fault_verdict`` for faulted cells):
+# the fault-free sequential oracle stays the ground truth, and a faulted
+# execution is judged against it with tolerance.
+CORRECT_UNDER_FAULTS = "correct-under-faults"  # oracle-exact, in envelope
+DEGRADED = "degraded"      # completed but wrong/slow vs the clean oracle
+DIVERGED = "diverged"      # did not complete (livelock, model violation)
+
 
 @dataclass
 class DifferentialRecord:
@@ -45,13 +52,21 @@ class DifferentialRecord:
     graph_source: str = "built"    # where the graph came from: built/lru/store
     oracle_source: str = "none"    # baseline origin: computed/lru/store/none
     decomposition_source: str = "none"  # input snapshot origin: same vocab
+    fault_profile: str = ""        # named profile injected, "" = fault-free
+    fault_seed: int = 0            # the --fault-seed the plan derived from
+    fault_verdict: str = ""        # correct-under-faults/degraded/diverged
+    fault_source: str = "none"     # plan provenance (nondeterministic field)
 
     @property
     def passed(self) -> bool:
+        if self.fault_profile:
+            # Under injected faults only divergence fails the cell: a
+            # degraded result is the characterization we came for.
+            return self.fault_verdict != DIVERGED
         return self.ok and self.envelope_ok
 
     def as_dict(self) -> Dict[str, Any]:
-        return {
+        out = {
             "scenario": self.scenario,
             "algorithm": self.algorithm,
             "family": self.family,
@@ -72,6 +87,14 @@ class DifferentialRecord:
             "oracle_source": self.oracle_source,
             "decomposition_source": self.decomposition_source,
         }
+        # Fault fields only appear on faulted records, so fault-free
+        # rows stay byte-identical to the pre-fault-plane format.
+        if self.fault_profile:
+            out["fault_profile"] = self.fault_profile
+            out["fault_seed"] = self.fault_seed
+            out["fault_verdict"] = self.fault_verdict
+            out["fault_source"] = self.fault_source
+        return out
 
     def canonical_dict(self) -> Dict[str, Any]:
         """The deterministic payload: everything except the wall clock.
@@ -99,21 +122,33 @@ class DifferentialRecord:
         parts = [f"{self.scenario} x {self.algorithm} "
                  f"(size={self.size}, seed={self.seed}, n={self.n}, "
                  f"m={self.m})"]
+        if self.fault_profile:
+            parts.append(f"faults={self.fault_profile} "
+                         f"(fault_seed={self.fault_seed}): "
+                         f"{self.fault_verdict or 'no verdict'}")
         failed = [name for name, good in self.checks.items() if not good]
         if failed:
             parts.append(f"failed checks: {', '.join(failed)}")
-        if not self.envelope_ok:
+        # A run that never completed has no meters; quoting a vacuous
+        # "rounds 0 vs N" envelope line would bury the real error.
+        completed = self.checks.get("execution_completed", True)
+        if completed and not self.envelope_ok and self.envelope:
             parts.append(
-                f"envelope violated: rounds {self.metrics['rounds']} vs "
-                f"{self.envelope['max_rounds']:.0f}, messages "
-                f"{self.metrics['messages']} vs "
+                f"envelope violated: rounds {self.metrics.get('rounds', 0)} "
+                f"vs {self.envelope['max_rounds']:.0f}, messages "
+                f"{self.metrics.get('messages', 0)} vs "
                 f"{self.envelope['max_messages']:.0f}")
+        error = self.detail.get("error") if self.detail else None
+        if error:
+            parts.append(str(error))
         return "; ".join(parts)
 
 
 def run_differential(scenario: Scenario | str, algorithm: str, *,
                      size: Optional[int] = None,
-                     seed: int = 0) -> DifferentialRecord:
+                     seed: int = 0,
+                     faults: Optional[Any] = None,
+                     fault_seed: int = 0) -> DifferentialRecord:
     """Run one matrix cell: scenario graph -> simulator -> oracle.
 
     The scenario graph is served from the cache chain of
@@ -134,6 +169,18 @@ def run_differential(scenario: Scenario | str, algorithm: str, *,
     are recorded on the record (``graph_source`` / ``oracle_source`` /
     ``decomposition_source`` -- nondeterministic fields: provenance,
     not payload).
+
+    With ``faults`` (a profile name or :class:`FaultProfile`), the cell
+    runs under a seeded fault plan and is judged against the *fault-free*
+    oracle with the profile's envelope dilation: ``correct-under-faults``
+    when still oracle-exact and in the dilated envelope, ``degraded``
+    when it completed but is wrong or slow, ``diverged`` when the
+    execution itself failed (livelock past the plan's round limit, or a
+    model violation provoked by the faults).  Graph and oracle resolve
+    through their normal cache chains *before* the fault context opens
+    (the ground truth stays clean); the decomposition chain is bypassed
+    -- any decomposition the binding needs is computed inline under the
+    same faults, never published under fault-free cache keys.
     """
     from repro.runner.decomposition_cache import binding_decomposition_source
     from repro.runner.graph_cache import scenario_graph_source
@@ -152,6 +199,12 @@ def run_differential(scenario: Scenario | str, algorithm: str, *,
     graph, graph_source = scenario_graph_source(scenario, size, seed=seed)
     oracle, oracle_source = binding_oracle_source(scenario, size, seed,
                                                   binding, graph)
+    if faults is not None:
+        return _run_faulted(scenario, algorithm, binding, graph,
+                            graph_source, oracle, oracle_source,
+                            size=size, seed=seed, derived_seed=derived_seed,
+                            faults=faults, fault_seed=fault_seed,
+                            start=start)
     snapshot, decomposition_source = binding_decomposition_source(
         scenario, size, seed, binding, graph)
     if binding.decomposition is not None:
@@ -172,6 +225,67 @@ def run_differential(scenario: Scenario | str, algorithm: str, *,
         derived_seed=derived_seed, wall_time=wall_time,
         graph_source=graph_source, oracle_source=oracle_source,
         decomposition_source=decomposition_source)
+
+
+def _run_faulted(scenario: Scenario, algorithm: str, binding, graph,
+                 graph_source: str, oracle, oracle_source: str, *,
+                 size: int, seed: int, derived_seed: int,
+                 faults, fault_seed: int, start: float) -> DifferentialRecord:
+    """The fault path of :func:`run_differential` (clean path untouched)."""
+    from repro.congest.faults import FaultProfile, fault_context, \
+        get_fault_profile
+
+    profile = (faults if isinstance(faults, FaultProfile)
+               else get_fault_profile(faults))
+    plan = profile.realize(graph, fault_seed)
+    envelope = binding.envelope.evaluate(
+        graph.n, graph.m, slack=scenario.envelope_slack * profile.dilation)
+    result = None
+    error: Optional[str] = None
+    with fault_context(plan):
+        try:
+            if binding.decomposition is not None:
+                # Bypass the decomposition cache chain: the snapshot
+                # must be computed under the same faults as the cell
+                # and must never be published under fault-free keys.
+                result = binding.run(graph, derived_seed, oracle=oracle,
+                                     decomposition=None)
+            else:
+                result = binding.run(graph, derived_seed, oracle=oracle)
+        except Exception as exc:  # noqa: BLE001 - verdict, not crash
+            error = f"{type(exc).__name__}: {exc}"
+    wall_time = time.perf_counter() - start
+    decomposition_source = ("none" if binding.decomposition is None
+                            else "inline")
+    if result is None:
+        return DifferentialRecord(
+            scenario=scenario.name, algorithm=algorithm,
+            family=binding.family, size=size, seed=seed,
+            n=graph.n, m=graph.m, ok=False, envelope_ok=False,
+            checks={"execution_completed": False},
+            metrics={"rounds": 0, "messages": 0},
+            envelope=envelope, detail={"error": error},
+            derived_seed=derived_seed, wall_time=wall_time,
+            graph_source=graph_source, oracle_source=oracle_source,
+            decomposition_source=decomposition_source,
+            fault_profile=profile.name, fault_seed=fault_seed,
+            fault_verdict=DIVERGED, fault_source=plan.describe())
+    envelope_ok = (result.metrics["rounds"] <= envelope["max_rounds"]
+                   and result.metrics["messages"] <= envelope["max_messages"])
+    verdict = (CORRECT_UNDER_FAULTS if result.ok and envelope_ok
+               else DEGRADED)
+    checks = dict(result.checks)
+    checks["execution_completed"] = True
+    return DifferentialRecord(
+        scenario=scenario.name, algorithm=algorithm, family=binding.family,
+        size=size, seed=seed, n=graph.n, m=graph.m,
+        ok=result.ok, envelope_ok=envelope_ok, checks=checks,
+        metrics=result.metrics, envelope=envelope, detail=result.detail,
+        derived_seed=derived_seed, wall_time=wall_time,
+        graph_source=graph_source, oracle_source=oracle_source,
+        decomposition_source=decomposition_source,
+        fault_profile=profile.name, fault_seed=fault_seed,
+        fault_verdict=verdict, fault_source=plan.describe())
 
 
 def record_from_dict(payload: Dict[str, Any]) -> DifferentialRecord:

@@ -1,0 +1,174 @@
+"""Crash tolerance of the sweep engine (src/repro/runner/executor.py).
+
+A worker process dying abruptly (``os._exit``, OOM kill, segfault)
+breaks the whole ``ProcessPoolExecutor``.  The executor must treat that
+as a per-cell fault, not a sweep fault:
+
+* the pool is rebuilt (with backoff) and the in-flight casualties
+  re-run **solo**, so a repeat crash is attributable to one cell;
+* a cell that keeps killing its worker is recorded as a **poisoned**
+  ``error`` result after the retry budget -- persisted like any other
+  record, so the run completes and a resumed run skips the cell
+  instead of re-killing the pool;
+* innocent bystander cells caught in a crash re-run and complete;
+* ``workers=1`` has no worker to kill: the crash instrumentation
+  degrades to an error record instead of taking down the caller;
+* an interrupted faulted sweep resumes with its manifest fault
+  counters merged across invocations.
+
+The ``JobSpec.crash`` flag is the instrumentation: the executing
+worker calls ``os._exit(1)`` mid-cell, skipping all cleanup.
+"""
+
+import json
+
+import pytest
+
+from repro.runner import JobSpec, RunStore, run_cells, run_sweep
+from repro.runner.engine import fault_counts
+from repro.runner.jobs import DONE, ERROR
+from repro.telemetry.events import (
+    POOL_CRASHED,
+    load_events,
+    telemetry_path,
+)
+
+
+def _spec(seed, **kwargs):
+    return JobSpec("path", "apsp-unweighted", 8, seed, **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# Executor level
+# ---------------------------------------------------------------------------
+
+def test_worker_crash_poisons_the_cell_and_spares_the_rest():
+    specs = [_spec(0), _spec(1, crash=True), _spec(2)]
+    crashes = []
+    results = run_cells(specs, workers=2, retries=1, backoff=0.01,
+                        on_pool_crash=lambda cells, rebuilds:
+                        crashes.append((len(cells), rebuilds)))
+    assert [r.spec.seed for r in results] == [0, 1, 2]
+
+    poisoned = results[1]
+    assert poisoned.status == ERROR and poisoned.poisoned
+    assert "poisoned" in poisoned.error
+    assert poisoned.attempts >= 2  # at least one solo re-run happened
+    # The innocents completed despite being caught in the crash.
+    for result in (results[0], results[2]):
+        assert result.status == DONE and result.passed
+        assert not result.poisoned
+    # The pool was rebuilt at least twice (initial crash + solo strikes)
+    # and the hook saw a monotone rebuild count.
+    assert len(crashes) >= 2
+    assert [rebuilds for _n, rebuilds in crashes] == \
+        list(range(1, len(crashes) + 1))
+
+
+def test_poisoned_result_round_trips_with_its_flag():
+    specs = [_spec(0, crash=True)]
+    results = run_cells(specs, workers=2, retries=0, backoff=0.01)
+    clone_dict = json.loads(json.dumps(results[0].as_dict()))
+    assert clone_dict["poisoned"] is True
+    from repro.runner import CellResult
+    clone = CellResult.from_dict(clone_dict)
+    assert clone.poisoned and clone.status == ERROR
+    # ... and a clean result's dict has no `poisoned` key at all (the
+    # serialized shape of pre-crash-plane records is unchanged).
+    clean = run_cells([_spec(0)], workers=1)
+    assert "poisoned" not in clean[0].as_dict()
+
+
+def test_in_process_crash_is_an_error_record_not_an_exit():
+    results = run_cells([_spec(0, crash=True)], workers=1)
+    assert results[0].status == ERROR
+    assert "requires a worker pool" in results[0].error
+    assert not results[0].poisoned
+
+
+def test_crash_flag_is_not_part_of_the_cell_identity():
+    assert _spec(0, crash=True).key == _spec(0).key
+
+
+# ---------------------------------------------------------------------------
+# Sweep level: completion, telemetry, resume
+# ---------------------------------------------------------------------------
+
+def test_sweep_survives_crash_and_resume_skips_the_poisoned_cell(tmp_path):
+    store = RunStore(tmp_path / "runs")
+    specs = [_spec(0, crash=True), _spec(1), _spec(2)]
+
+    class Stop(Exception):
+        pass
+
+    def interrupt(result):
+        if result.poisoned:
+            raise Stop()
+
+    with pytest.raises(Stop):
+        run_sweep(["path"], sizes=[8], seeds=[0, 1, 2], specs=specs,
+                  store=store, revision="rev-A", workers=2, retries=0,
+                  on_result=interrupt, graph_store_dir=None,
+                  oracle_store_dir=None, decomposition_store_dir=None)
+    interrupted = store.list_runs()[-1]
+    assert not interrupted.is_complete()
+    persisted = interrupted.load_results()
+    assert any(r.poisoned for r in persisted)
+    # The pool crashes made it into the telemetry timeline.
+    events = load_events(telemetry_path(interrupted.path))
+    assert any(e["event"] == POOL_CRASHED for e in events)
+
+    # Resume with the *same* crash-instrumented specs: the poisoned
+    # cell's key is already recorded, so it is skipped -- the crash
+    # instrumentation never runs again and the pool stays healthy.
+    resumed = run_sweep(["path"], sizes=[8], seeds=[0, 1, 2], specs=specs,
+                        store=store, revision="rev-A", workers=2,
+                        retries=0, graph_store_dir=None,
+                        oracle_store_dir=None,
+                        decomposition_store_dir=None)
+    assert resumed.resumed and resumed.run.is_complete()
+    assert resumed.skipped >= 1
+    loaded = resumed.run.load_results()
+    assert len(loaded) == len(specs)
+    assert sum(1 for r in loaded if r.poisoned) == 1
+    assert sum(1 for r in loaded if r.status == DONE) == 2
+    # No new pool crashes on resume.
+    resumed_events = load_events(telemetry_path(resumed.run.path))
+    assert (sum(1 for e in resumed_events if e["event"] == POOL_CRASHED)
+            == sum(1 for e in events if e["event"] == POOL_CRASHED))
+    # The sweep summary surfaces the poisoned count.
+    assert resumed.summary()["poisoned"] == 1
+
+
+def test_interrupted_faulted_sweep_merges_counters_across_resume(tmp_path):
+    store = RunStore(tmp_path / "runs")
+    kwargs = dict(sizes=[16], seeds=[0], faults=["dup-storm"],
+                  fault_seed=1, revision="rev-A", store=store,
+                  graph_store_dir=None, oracle_store_dir=None,
+                  decomposition_store_dir=None)
+
+    seen = []
+
+    def interrupt(result):
+        seen.append(result)
+        if len(seen) == 1:
+            raise KeyboardInterrupt()
+
+    # SIGINT (as KeyboardInterrupt) after the first faulted record.
+    with pytest.raises(KeyboardInterrupt):
+        run_sweep(["cycle", "path"], on_result=interrupt, **kwargs)
+    interrupted = store.list_runs()[-1]
+    assert not interrupted.is_complete()
+    partial = interrupted.manifest.get("fault_counters", {})
+    persisted = interrupted.load_results()
+    assert sum(partial.get("verdicts", {}).values()) == len(persisted)
+
+    resumed = run_sweep(["cycle", "path"], **kwargs)
+    assert resumed.resumed and resumed.run.is_complete()
+    loaded = resumed.run.load_results()
+    # The manifest counters were *merged* across the two invocations:
+    # they equal a fresh rollup over the complete record set.
+    merged = resumed.run.manifest["fault_counters"]
+    assert merged == fault_counts(loaded)
+    assert sum(merged["verdicts"].values()) == len(loaded)
+    assert len(loaded) == 3  # cycle x 1 + path x 2, one profile each

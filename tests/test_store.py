@@ -566,3 +566,106 @@ def test_bench_cli_smoke_flag(tmp_path, capsys):
     assert report["metadata"]["extra"]["smoke"] is True
     assert (tmp_path / "BENCH_graph_store.json").is_file()
     assert "sweep_construction_warm_vs_cold" in report["speedup"]
+
+
+# ---------------------------------------------------------------------------
+# Quarantine inventory + gc --dry-run (the fault-plane maintenance PR)
+# ---------------------------------------------------------------------------
+
+def test_quarantined_entry_is_held_counted_and_drained(tmp_path):
+    """A corrupt entry moves to .quarantine/<kind>/ (post-mortem held,
+    out of the addressable namespace), shows up in stat, and is drained
+    by a real gc -- but never by a dry run."""
+    store = GraphStore(tmp_path)
+    scenario, size, derived, _ = _publish(store, "path")
+    entry = store.artifacts.entry_path(
+        GRAPH_KIND, graph_key(scenario.name, size, derived))
+    (entry / MANIFEST_NAME).write_text("{ not json")
+
+    assert store.load(scenario.name, size, derived) is None
+    assert not entry.exists()
+    from repro.store import QUARANTINE_DIR
+    held = list((tmp_path / QUARANTINE_DIR / GRAPH_KIND).iterdir())
+    assert len(held) == 1 and (held[0] / "indptr.npy").is_file()
+
+    arts = store.artifacts
+    assert arts.quarantined_counts() == {GRAPH_KIND: 1}
+    assert arts.quarantined_counts("oracles") == {}
+    stats = arts.stat()
+    assert stats["quarantined"] == 1
+    assert stats["families"][GRAPH_KIND]["quarantined"] == 1
+    # The quarantined entry is invisible to ls (no phantom families).
+    assert arts.ls() == []
+
+    # Dry run: nothing is deleted, neither entries nor quarantine.
+    assert arts.gc(keep_last=0, dry_run=True) == []
+    assert arts.quarantined_counts() == {GRAPH_KIND: 1}
+    # Real gc drains the quarantine even when no entry is removed.
+    assert arts.gc(keep_last=10) == []
+    assert arts.quarantined_counts() == {}
+    assert arts.stat()["quarantined"] == 0
+
+
+def test_gc_dry_run_reports_without_removing(tmp_path):
+    store = GraphStore(tmp_path)
+    for name in ("path", "cycle", "dense-gnp"):
+        _publish(store, name)
+    arts = store.artifacts
+    would = arts.gc(keep_last=1, dry_run=True)
+    assert len(would) == 2
+    assert arts.stat()["entries"] == 3  # nothing was touched
+    removed = arts.gc(keep_last=1)
+    assert [e.key for e in removed] == [e.key for e in would]
+    assert arts.stat()["entries"] == 1
+
+
+def test_gc_quarantine_drain_respects_family_scope(tmp_path):
+    """gc --family graphs must not drain another family's quarantine."""
+    from repro.store import QUARANTINE_DIR
+
+    arts = ArtifactStore(tmp_path)
+    for kind in ("graphs", "oracles"):
+        victim = tmp_path / QUARANTINE_DIR / kind / "deadbeef-0"
+        victim.mkdir(parents=True)
+        (victim / "junk").write_text("x")
+    arts.gc(keep_last=0, kind="graphs")
+    assert arts.quarantined_counts() == {"oracles": 1}
+    arts.gc(keep_last=0)
+    assert arts.quarantined_counts() == {}
+
+
+def test_cli_store_stat_and_gc_surface_quarantine(tmp_path, capsys):
+    store_dir = str(tmp_path / "store")
+    assert main(["store", "warm", "--names", "path",
+                 "--store-dir", store_dir]) == 0
+    capsys.readouterr()
+    # Corrupt the graph snapshot so the next read quarantines it.
+    store = GraphStore(store_dir)
+    scenario = get_scenario("path")
+    derived = scenario.seed_for(scenario.default_size, 0)
+    entry = store.artifacts.entry_path(
+        GRAPH_KIND, graph_key("path", scenario.default_size, derived))
+    (entry / MANIFEST_NAME).write_text("{ not json")
+    assert store.load("path", scenario.default_size, derived) is None
+
+    assert main(["store", "stat", "--store-dir", store_dir]) == 0
+    out = capsys.readouterr().out
+    assert "quarantined: 1 corrupt entry" in out
+    assert "1 quarantined" in out
+    assert main(["store", "stat", "--store-dir", store_dir,
+                 "--json"]) == 0
+    stats = json.loads(capsys.readouterr().out)
+    assert stats["quarantined"] == 1
+    assert stats["families"]["graphs"]["quarantined"] == 1
+
+    # Dry run previews; the store (and quarantine) are untouched.
+    assert main(["store", "gc", "--keep-last", "0", "--dry-run",
+                 "--store-dir", store_dir]) == 0
+    out = capsys.readouterr().out
+    assert "would be removed (dry run)" in out and "freeable" in out
+    assert store.artifacts.quarantined_counts() == {"graphs": 1}
+    # A real gc drains it.
+    assert main(["store", "gc", "--keep-last", "0",
+                 "--store-dir", store_dir]) == 0
+    capsys.readouterr()
+    assert store.artifacts.quarantined_counts() == {}
