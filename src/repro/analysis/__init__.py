@@ -7,9 +7,19 @@ from repro.analysis.complexity import (
     is_monotone,
     ratio_trend,
 )
+from repro.analysis.profiles import (
+    format_profile_diff,
+    format_profile_show,
+    phase_breakdown,
+    profile_diff_payload,
+    profile_show_payload,
+)
 from repro.analysis.reporting import format_table, print_table, record_extra_info
 
 __all__ = [
-    "ExponentFit", "crossover_point", "fit_exponent", "format_table",
-    "is_monotone", "print_table", "ratio_trend", "record_extra_info",
+    "ExponentFit", "crossover_point", "fit_exponent",
+    "format_profile_diff", "format_profile_show", "format_table",
+    "is_monotone", "phase_breakdown", "print_table",
+    "profile_diff_payload", "profile_show_payload", "ratio_trend",
+    "record_extra_info",
 ]

@@ -1,0 +1,279 @@
+"""Render stored round profiles: ``repro profile show`` / ``diff``.
+
+A :class:`~repro.congest.profile.RoundProfile` is a per-round metric
+timeline -- exactly the resolution the paper's statements live at
+(round complexity §1.1.1, broadcast complexity §1.1.2, congestion
+§1.4.1).  This module turns one stored profile into the three views a
+human asks for first:
+
+* the **round timeline** -- bucketed when long, so a 5000-round
+  execution still fits on a screen while short runs show every row;
+* the **peak-congestion round** and where it falls relative to the
+  declared phases (the congestion-smoothing lemma is a statement about
+  exactly this peak);
+* the **phase breakdown** -- additive meters summed per declared phase
+  marker, so "which phase spends the words" is one table.
+
+``diff`` compares two stored profiles -- typically the same cell at
+two revisions, which coexist in the profiles family precisely so this
+comparison works -- phase by phase and total by total.
+
+Payload builders are pure dict-producers (what ``--json`` emits);
+formatting goes through :func:`repro.analysis.reporting.format_table`
+like every other CLI surface.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.reporting import format_table
+from repro.congest.profile import ADDITIVE_COLUMNS, RoundProfile
+
+# Timelines longer than this are bucketed down to about this many rows.
+TIMELINE_LIMIT = 40
+
+_PHASE_NONE = "(no phase)"
+
+
+def _phase_names(profile: RoundProfile) -> List[str]:
+    """Phase label per recorded row, in row order."""
+    names: List[str] = []
+    markers = list(profile.phases)
+    current = _PHASE_NONE
+    next_marker = 0
+    for row in range(profile.rounds_executed):
+        while next_marker < len(markers) and markers[next_marker][0] <= row:
+            current = markers[next_marker][1] or _PHASE_NONE
+            next_marker += 1
+        names.append(current)
+    return names
+
+
+def phase_breakdown(profile: RoundProfile) -> List[Dict[str, Any]]:
+    """Additive meters summed per declared phase, in first-seen order."""
+    names = _phase_names(profile)
+    order: List[str] = []
+    buckets: Dict[str, Dict[str, Any]] = {}
+    for row, name in enumerate(names):
+        bucket = buckets.get(name)
+        if bucket is None:
+            order.append(name)
+            bucket = buckets[name] = {"phase": name, "rows": 0,
+                                      "congestion_max": 0}
+            bucket.update({column: 0 for column in ADDITIVE_COLUMNS})
+        bucket["rows"] += 1
+        for column in ADDITIVE_COLUMNS:
+            bucket[column] += int(profile.columns[column][row])
+        bucket["congestion_max"] = max(
+            bucket["congestion_max"],
+            int(profile.columns["congestion_max"][row]))
+    return [buckets[name] for name in order]
+
+
+def _timeline_rows(profile: RoundProfile,
+                   limit: int = TIMELINE_LIMIT) -> List[Dict[str, Any]]:
+    """Per-round rows, or per-bucket aggregates when the timeline is
+    longer than ``limit`` (additive meters sum, congestion takes the
+    bucket max -- a bucketed view must not hide the peak)."""
+    total = profile.rounds_executed
+    columns = profile.columns
+    if total <= limit:
+        spans = [(i, i + 1) for i in range(total)]
+    else:
+        base, remainder = divmod(total, limit)
+        spans = []
+        start = 0
+        for index in range(limit):
+            size = base + (1 if index < remainder else 0)
+            spans.append((start, start + size))
+            start += size
+    rows = []
+    for start, stop in spans:
+        row: Dict[str, Any] = {
+            "rounds": (int(columns["round"][start])
+                       if stop - start == 1 else
+                       f"{int(columns['round'][start])}-"
+                       f"{int(columns['round'][stop - 1])}"),
+            "congestion_max": int(columns["congestion_max"][start:stop]
+                                  .max()),
+            "congestion_p99": round(
+                float(columns["congestion_p99"][start:stop].max()), 2),
+            "active": int(columns["active"][start:stop].max()),
+            "halted": int(columns["halted"][stop - 1]),
+        }
+        for column in ("messages", "words", "broadcasts"):
+            row[column] = int(columns[column][start:stop].sum())
+        faults = sum(int(columns[column][start:stop].sum())
+                     for column in ("faults_dropped", "faults_duplicated",
+                                    "nodes_crashed"))
+        if faults:
+            row["faults"] = faults
+        rows.append(row)
+    return rows
+
+
+def profile_show_payload(profile: RoundProfile,
+                         identity: Optional[Dict[str, Any]] = None,
+                         *, limit: int = TIMELINE_LIMIT) -> Dict[str, Any]:
+    """Everything ``repro profile show`` emits, as one JSON-able dict."""
+    peak_round, peak = profile.peak_congestion()
+    payload: Dict[str, Any] = {
+        "identity": dict(identity or {}),
+        "rows": profile.rounds_executed,
+        "totals": profile.totals(),
+        "peak_congestion": {"round": peak_round, "congestion": peak,
+                            "phase": profile.phase_of_row(
+                                _row_of_peak(profile)) or _PHASE_NONE},
+        "segments": [
+            {"label": s.get("label"), "rows": s.get("rows"),
+             "totals": s.get("totals")} for s in profile.segments],
+        "phases": phase_breakdown(profile),
+        "timeline": _timeline_rows(profile, limit),
+    }
+    return payload
+
+
+def _row_of_peak(profile: RoundProfile) -> int:
+    cong = profile.columns["congestion_max"]
+    return int(cong.argmax()) if len(cong) else 0
+
+
+def format_profile_show(payload: Dict[str, Any]) -> str:
+    """Human-readable rendering of a :func:`profile_show_payload`."""
+    lines: List[str] = []
+    identity = payload["identity"]
+    if identity:
+        coords = ", ".join(f"{key}={identity[key]}"
+                           for key in sorted(identity) if identity[key])
+        lines.append(f"profile: {coords}")
+    totals = payload["totals"]
+    lines.append(
+        f"{payload['rows']} recorded round(s) across "
+        f"{len(payload['segments'])} segment(s); totals: "
+        + ", ".join(f"{totals[k]} {k.replace('_', ' ')}"
+                    for k in ("messages", "words", "broadcasts")
+                    if k in totals))
+    fault_total = sum(totals.get(k, 0) for k in ("faults_dropped",
+                                                 "faults_duplicated",
+                                                 "nodes_crashed"))
+    if fault_total:
+        lines.append(
+            f"fault events: {totals.get('faults_dropped', 0)} dropped, "
+            f"{totals.get('faults_duplicated', 0)} duplicated, "
+            f"{totals.get('nodes_crashed', 0)} crash(es)")
+    peak = payload["peak_congestion"]
+    lines.append(f"peak congestion: {peak['congestion']} words on one "
+                 f"edge in round {peak['round']} "
+                 f"(phase: {peak['phase']})")
+
+    phases = payload["phases"]
+    if phases:
+        lines.append("")
+        lines.append(format_table(
+            ["phase", "rows", "messages", "words", "broadcasts",
+             "peak-congestion"],
+            [(p["phase"], p["rows"], p["messages"], p["words"],
+              p["broadcasts"], p["congestion_max"]) for p in phases],
+            title="phase breakdown:"))
+
+    timeline = payload["timeline"]
+    if timeline:
+        lines.append("")
+        lines.append(format_table(
+            ["round(s)", "messages", "words", "broadcasts", "cong-max",
+             "cong-p99", "active", "halted"],
+            [(t["rounds"], t["messages"], t["words"], t["broadcasts"],
+              t["congestion_max"], t["congestion_p99"], t["active"],
+              t["halted"]) for t in timeline],
+            title=("round timeline:" if payload["rows"] <= len(timeline)
+                   else f"round timeline ({payload['rows']} rounds in "
+                        f"{len(timeline)} buckets; meters summed, "
+                        f"congestion is the bucket max):")))
+    return "\n".join(lines)
+
+
+def profile_diff_payload(a: RoundProfile, b: RoundProfile,
+                         identity_a: Optional[Dict[str, Any]] = None,
+                         identity_b: Optional[Dict[str, Any]] = None,
+                         ) -> Dict[str, Any]:
+    """Compare two stored profiles total-by-total and phase-by-phase."""
+    totals_a, totals_b = a.totals(), b.totals()
+    peak_a, peak_b = a.peak_congestion(), b.peak_congestion()
+    phases_a = {p["phase"]: p for p in phase_breakdown(a)}
+    phases_b = {p["phase"]: p for p in phase_breakdown(b)}
+    order = [p["phase"] for p in phase_breakdown(a)]
+    order += [p["phase"] for p in phase_breakdown(b)
+              if p["phase"] not in phases_a]
+    phase_rows = []
+    for name in order:
+        pa, pb = phases_a.get(name), phases_b.get(name)
+        phase_rows.append({
+            "phase": name,
+            "words_a": pa["words"] if pa else None,
+            "words_b": pb["words"] if pb else None,
+            "messages_a": pa["messages"] if pa else None,
+            "messages_b": pb["messages"] if pb else None,
+        })
+    return {
+        "a": dict(identity_a or {}),
+        "b": dict(identity_b or {}),
+        "rows": {"a": a.rounds_executed, "b": b.rounds_executed,
+                 "delta": b.rounds_executed - a.rounds_executed},
+        "totals": {
+            name: {"a": totals_a[name], "b": totals_b[name],
+                   "delta": totals_b[name] - totals_a[name]}
+            for name in ADDITIVE_COLUMNS
+            if totals_a[name] or totals_b[name]},
+        "peak_congestion": {
+            "a": {"round": peak_a[0], "congestion": peak_a[1]},
+            "b": {"round": peak_b[0], "congestion": peak_b[1]},
+            "delta": peak_b[1] - peak_a[1]},
+        "phases": phase_rows,
+    }
+
+
+def _delta_cell(delta: int) -> str:
+    return f"{delta:+d}" if delta else "0"
+
+
+def format_profile_diff(payload: Dict[str, Any]) -> str:
+    """Human-readable rendering of a :func:`profile_diff_payload`."""
+    lines: List[str] = []
+
+    def describe(identity: Dict[str, Any]) -> str:
+        if not identity:
+            return "(unidentified)"
+        return ", ".join(f"{key}={identity[key]}"
+                         for key in sorted(identity) if identity[key])
+
+    lines.append(f"a: {describe(payload['a'])}")
+    lines.append(f"b: {describe(payload['b'])}")
+    rows = payload["rows"]
+    lines.append(f"recorded rounds: {rows['a']} -> {rows['b']} "
+                 f"({_delta_cell(rows['delta'])})")
+    peak = payload["peak_congestion"]
+    lines.append(
+        f"peak congestion: {peak['a']['congestion']} "
+        f"(round {peak['a']['round']}) -> {peak['b']['congestion']} "
+        f"(round {peak['b']['round']}) "
+        f"({_delta_cell(peak['delta'])})")
+    if payload["totals"]:
+        lines.append("")
+        lines.append(format_table(
+            ["meter", "a", "b", "delta"],
+            [(name, cell["a"], cell["b"], _delta_cell(cell["delta"]))
+             for name, cell in payload["totals"].items()],
+            title="additive meters:"))
+    if payload["phases"]:
+        lines.append("")
+        lines.append(format_table(
+            ["phase", "words a", "words b", "messages a", "messages b"],
+            [(p["phase"],
+              "-" if p["words_a"] is None else p["words_a"],
+              "-" if p["words_b"] is None else p["words_b"],
+              "-" if p["messages_a"] is None else p["messages_a"],
+              "-" if p["messages_b"] is None else p["messages_b"])
+             for p in payload["phases"]],
+            title="per-phase comparison:"))
+    return "\n".join(lines)

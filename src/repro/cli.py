@@ -30,6 +30,12 @@ Examples
     python -m repro.cli bench gate graph-store            # rolling regression gate
     python -m repro.cli bench gate --smoke                # gate self-test
     python -m repro.cli runs report <run-id>              # telemetry timeline
+    python -m repro.cli runs watch <run-id>               # live sweep progress
+    python -m repro.cli sweep --profile --cprofile        # round profiles + hot fns
+    python -m repro.cli profile ls                        # stored round profiles
+    python -m repro.cli profile show complete apsp-tradeoff --size 16
+    python -m repro.cli profile diff complete apsp-tradeoff --size 16 \
+        --against-size 24                                 # compare two cells
 
 Each command prints the exact result summary plus the measured message
 and round costs; everything runs on the literal CONGEST simulator.
@@ -282,6 +288,20 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         else:
             decomposition_store_dir = None
             decomposition_cache.configure_store(None)
+        # Profiling is strictly opt-in: with the flags absent, configure
+        # the capture plane OFF explicitly so ambient REPRO_PROFILE_* /
+        # REPRO_CPROFILE env vars cannot switch it on behind the CLI.
+        from repro.runner import profile_capture
+        if args.profile:
+            profile_store_dir = (args.store_dir
+                                 if args.store_dir is not None
+                                 else str(pathlib.Path(args.runs_dir)
+                                          / "store"))
+        else:
+            profile_store_dir = None
+            profile_capture.configure_profiles(None)
+        if not args.cprofile:
+            profile_capture.configure_cprofile(False)
         outcome = run_sweep(args.names, sizes=args.sizes, seeds=args.seeds,
                             workers=args.workers, timeout=args.timeout,
                             retries=args.retries, store=store,
@@ -298,7 +318,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                             telemetry=args.telemetry,
                             bench_history_dir=(graph_store_dir
                                                if args.bench_history
-                                               else None))
+                                               else None),
+                            profile_store_dir=profile_store_dir,
+                            cprofile=(True if args.cprofile else None))
     except (KeyError, ValueError) as exc:
         message = exc.args[0] if exc.args else str(exc)
         print(f"error: {message}", file=sys.stderr)
@@ -367,6 +389,19 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         if summary.get("poisoned"):
             print(f"poisoned cells: {summary['poisoned']} (worker died "
                   f"repeatedly; resumed runs skip them)")
+        if args.profile:
+            profiled = sum(
+                1 for r in outcome.results
+                if r.record is not None
+                and r.record.get("profile_source", "none") != "none")
+            print(f"round profiles: {profiled} cell(s) captured under "
+                  f"{profile_store_dir} "
+                  f"(inspect with `repro profile ls/show/diff`)")
+        if args.cprofile:
+            hot_cells = sum(1 for r in outcome.results if r.hot)
+            print(f"cProfile: hot functions recorded for {hot_cells} "
+                  f"cell(s) (aggregate with `repro runs report "
+                  f"{outcome.run_id}`)")
         stats = summarize(records)
         for failure in stats["failures"]:
             print(f"  FAIL {failure}")
@@ -424,6 +459,13 @@ def _entry_detail(entry) -> str:
         return (f"{identity.get('kind', '?')}:{identity.get('name', '?')} "
                 f"seq {identity.get('sequence', '?')} "
                 f"@{str(identity.get('revision', '?'))[:6]}")
+    if entry.kind == "profiles":
+        meta = entry.manifest.get("profile", {})
+        faults = entry.identity.get("faults") or ""
+        return (f"{entry.identity.get('algorithm', '?')} "
+                f"rounds={meta.get('rows', '?')}"
+                + (f" faults={faults}" if faults else "")
+                + f" @{str(entry.identity.get('revision', '?'))[:6]}")
     return ""
 
 
@@ -826,9 +868,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 
 def _cmd_runs(args: argparse.Namespace) -> int:
-    """``repro runs report``: render one run's telemetry timeline."""
+    """``repro runs``: telemetry views over stored sweep runs."""
     from repro.runner import RunStore
-    from repro.telemetry import run_report, run_report_payload
+    from repro.telemetry import run_report, run_report_payload, watch_run
 
     store = RunStore(args.runs_dir)
     try:
@@ -837,10 +879,128 @@ def _cmd_runs(args: argparse.Namespace) -> int:
         message = exc.args[0] if exc.args else str(exc)
         print(f"error: {message}", file=sys.stderr)
         return 2
+    if args.action == "watch":
+        try:
+            watch_run(run, interval=args.interval, once=args.once,
+                      max_seconds=args.max_seconds)
+        except KeyboardInterrupt:
+            print()
+        return 0
     if args.json:
         print(json.dumps(run_report_payload(run, top=args.top), indent=2))
     else:
         print(run_report(run, top=args.top))
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """``repro profile``: stored round profiles: ls / show / diff."""
+    from repro.analysis.profiles import (
+        format_profile_diff,
+        format_profile_show,
+        profile_diff_payload,
+        profile_show_payload,
+    )
+    from repro.store import DEFAULT_STORE_DIR, ProfileStore
+
+    root = (args.store_dir if args.store_dir is not None
+            else DEFAULT_STORE_DIR)
+    store = ProfileStore(root)
+
+    if args.action == "ls":
+        entries = store.ls()
+        if args.json:
+            print(json.dumps(
+                [{"key": e.key, **e.identity,
+                  "rounds": e.manifest.get("profile", {}).get("rows"),
+                  "bytes": e.nbytes, "created_at": e.created_at}
+                 for e in entries], indent=2))
+            return 0
+        rows = [(e.key[:12], e.identity.get("scenario", "?"),
+                 e.identity.get("algorithm", "?"),
+                 e.identity.get("size", "?"), e.identity.get("seed", "?"),
+                 e.identity.get("faults") or "-",
+                 str(e.identity.get("revision", "?"))[:8],
+                 e.manifest.get("profile", {}).get("rows", "?"),
+                 e.nbytes)
+                for e in entries]
+        print(format_table(
+            ["key", "scenario", "algorithm", "size", "seed", "faults",
+             "revision", "rounds", "bytes"], rows))
+        print(f"\n{len(entries)} profile(s) under {store.root}")
+        return 0
+
+    size = args.size
+    if size is None:
+        from repro.scenarios import get_scenario
+        try:
+            size = get_scenario(args.scenario).default_size
+        except KeyError as exc:
+            message = exc.args[0] if exc.args else str(exc)
+            print(f"error: {message}", file=sys.stderr)
+            return 2
+
+    def resolve(scenario, algorithm, cell_size, seed, faults, fault_seed,
+                revision, label):
+        identity = store.find(scenario, algorithm, cell_size, seed,
+                              faults=faults or "", fault_seed=fault_seed,
+                              revision=revision)
+        if identity is None:
+            at = f" at revision {revision}" if revision else ""
+            print(f"error: no stored profile for {label} "
+                  f"{scenario} x {algorithm} (size={cell_size}, "
+                  f"seed={seed}"
+                  + (f", faults={faults}" if faults else "")
+                  + f"){at} under {store.root}; capture one with "
+                  f"`repro sweep --profile`", file=sys.stderr)
+        return identity
+
+    identity = resolve(args.scenario, args.algorithm, size, args.seed,
+                       args.faults, args.fault_seed, args.revision,
+                       "cell")
+    if identity is None:
+        return 2
+    profile = store.load(identity)
+    if profile is None:
+        print(f"error: stored profile {identity} failed to load "
+              f"(corrupt entries are quarantined; re-capture with "
+              f"`repro sweep --profile`)", file=sys.stderr)
+        return 2
+
+    if args.action == "show":
+        payload = profile_show_payload(profile, identity,
+                                       limit=args.limit)
+        if args.json:
+            print(json.dumps(payload, indent=2))
+        else:
+            print(format_profile_show(payload))
+        return 0
+
+    # diff: cell B is cell A's coordinates with --against-* overrides,
+    # so the common case -- same cell, different revision -- is one flag.
+    identity_b = resolve(
+        args.against_scenario or args.scenario,
+        args.against_algorithm or args.algorithm,
+        args.against_size if args.against_size is not None else size,
+        args.against_seed if args.against_seed is not None else args.seed,
+        args.against_faults if args.against_faults is not None
+        else args.faults,
+        args.against_fault_seed if args.against_fault_seed is not None
+        else args.fault_seed,
+        args.against_revision, "--against cell")
+    if identity_b is None:
+        return 2
+    profile_b = store.load(identity_b)
+    if profile_b is None:
+        print(f"error: stored profile {identity_b} failed to load",
+              file=sys.stderr)
+        return 2
+    payload = profile_diff_payload(profile, profile_b,
+                                   identity, identity_b)
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(format_profile_diff(payload))
     return 0
 
 
@@ -1007,6 +1167,18 @@ def build_parser() -> argparse.ArgumentParser:
                         "bench-history family of the artifact store for "
                         "`repro bench report` / `repro bench gate` "
                         "(default: on, moot under --no-store)")
+    p.add_argument("--profile", action="store_true",
+                   help="capture a per-round metric timeline for every "
+                        "executed cell into the store's profiles family "
+                        "(messages/words/broadcasts/congestion per round, "
+                        "phase markers); inspect with `repro profile "
+                        "show` / `diff`; canonical cell records stay "
+                        "byte-identical (default: off)")
+    p.add_argument("--cprofile", action="store_true",
+                   help="run each cell under cProfile and record its top "
+                        "hot functions in the cell result, aggregated "
+                        "across the run by `repro runs report` "
+                        "(default: off)")
     p.add_argument("--list-runs", action="store_true",
                    help="list stored runs and exit")
     p.add_argument("--json", action="store_true")
@@ -1026,7 +1198,7 @@ def build_parser() -> argparse.ArgumentParser:
         q.add_argument("--family", default=None,
                        help="restrict to one artifact family "
                             "(graphs / oracles / decompositions / "
-                            "bench-history; default: all)")
+                            "bench-history / profiles; default: all)")
         q.add_argument("--json", action="store_true")
         q.set_defaults(func=_cmd_store)
         return q
@@ -1135,6 +1307,79 @@ def build_parser() -> argparse.ArgumentParser:
                    help="slowest cells to list (default: 10)")
     q.add_argument("--json", action="store_true")
     q.set_defaults(func=_cmd_runs)
+
+    q = runs_sub.add_parser(
+        "watch",
+        help="tail a run's telemetry timeline live: in-place progress, "
+             "cache hit rates so far, slowest cells so far")
+    q.add_argument("run_id", help="run id (see `repro sweep --list-runs`)")
+    q.add_argument("--runs-dir", default="runs",
+                   help="run-store directory (default: runs/)")
+    q.add_argument("--interval", type=float, default=1.0,
+                   help="refresh interval in seconds (default: 1)")
+    q.add_argument("--once", action="store_true",
+                   help="render a single snapshot and exit (CI-friendly)")
+    q.add_argument("--max-seconds", type=float, default=None,
+                   help="give up after this many seconds even if the run "
+                        "has not completed (default: watch forever)")
+    q.set_defaults(func=_cmd_runs)
+
+    p = sub.add_parser(
+        "profile",
+        help="stored per-round execution profiles, captured by `repro "
+             "sweep --profile`: ls / show / diff "
+             "(src/repro/congest/profile.py, src/repro/store/profiles.py)")
+    profile_sub = p.add_subparsers(dest="action", required=True)
+
+    q = profile_sub.add_parser("ls", help="list stored round profiles")
+    q.add_argument("--store-dir", default=None,
+                   help="artifact-store directory (default: runs/store)")
+    q.add_argument("--json", action="store_true")
+    q.set_defaults(func=_cmd_profile)
+
+    def _profile_cell(q):
+        q.add_argument("scenario", help="scenario name")
+        q.add_argument("algorithm", help="algorithm name within it")
+        q.add_argument("--size", type=int, default=None,
+                       help="workload size (default: the scenario's "
+                            "tier-1 default_size)")
+        q.add_argument("--seed", type=int, default=0)
+        q.add_argument("--faults", default=None,
+                       help="fault profile the cell ran under "
+                            "(default: the clean cell)")
+        q.add_argument("--fault-seed", type=int, default=0)
+        q.add_argument("--revision", default=None,
+                       help="exact source revision (default: the newest "
+                            "stored profile for the cell)")
+        q.add_argument("--store-dir", default=None,
+                       help="artifact-store directory (default: "
+                            "runs/store)")
+        q.add_argument("--json", action="store_true")
+        q.set_defaults(func=_cmd_profile)
+
+    q = profile_sub.add_parser(
+        "show",
+        help="render one cell's profile: round timeline, peak-congestion "
+             "round, phase breakdown")
+    _profile_cell(q)
+    q.add_argument("--limit", type=int, default=40,
+                   help="timeline rows to show; longer timelines are "
+                        "bucketed down to this many (default: 40)")
+
+    q = profile_sub.add_parser(
+        "diff",
+        help="compare two stored profiles phase-by-phase; the second "
+             "cell is the first with any --against-* coordinates "
+             "overridden (e.g. --against-revision alone compares the "
+             "same cell across revisions)")
+    _profile_cell(q)
+    q.add_argument("--against-scenario", default=None)
+    q.add_argument("--against-algorithm", default=None)
+    q.add_argument("--against-size", type=int, default=None)
+    q.add_argument("--against-seed", type=int, default=None)
+    q.add_argument("--against-faults", default=None)
+    q.add_argument("--against-fault-seed", type=int, default=None)
+    q.add_argument("--against-revision", default=None)
     return parser
 
 

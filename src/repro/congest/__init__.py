@@ -18,7 +18,14 @@ from repro.congest.faults import (
     fault_profile_names,
     get_fault_profile,
 )
-from repro.congest.tracing import TraceEvent, Tracer, format_trace
+from repro.congest.tracing import ReprPayload, TraceEvent, Tracer, format_trace
+from repro.congest.profile import (
+    RoundProfile,
+    RoundProfiler,
+    active_profiler,
+    mark_phase,
+    profile_context,
+)
 from repro.congest.machine import LocalRunner, Machine, MachineAdapter, run_machines
 from repro.congest.metrics import Metrics, undirected
 from repro.congest.network import (
@@ -38,7 +45,9 @@ __all__ = [
     "DuplicateSend", "Execution", "FaultPlan", "FaultProfile", "LocalRunner",
     "Machine", "MachineAdapter", "MessageTooLarge", "Metrics",
     "ModelViolation", "Network", "NodeAPI", "NodeInfo", "NotANeighbor",
-    "active_plan", "fault_context", "fault_profile_names",
-    "get_fault_profile", "make_node_info", "node_seed", "payload_words",
+    "ReprPayload", "RoundProfile", "RoundProfiler",
+    "active_plan", "active_profiler", "fault_context",
+    "fault_profile_names", "get_fault_profile", "make_node_info",
+    "mark_phase", "node_seed", "payload_words", "profile_context",
     "run_algorithm", "run_machines", "undirected",
 ]

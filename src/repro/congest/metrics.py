@@ -43,6 +43,12 @@ class Metrics:
     faults_duplicated: int = 0
     nodes_crashed: int = 0
     edge_congestion: Counter = field(default_factory=Counter)
+    # Message-size histogram (size in words -> message count).  Executions
+    # reuse a handful of payload shapes, so this stays tiny; it is what
+    # makes window maxima exact: ``delta_since`` diffs the histograms and
+    # takes the max size actually seen *within* the window, instead of
+    # copying the execution-wide running max into every phase delta.
+    message_sizes: Counter = field(default_factory=Counter)
 
     def record_send(self, u: Hashable, v: Hashable, size_words: int) -> None:
         """Record one message of ``size_words`` words on edge (u, v)."""
@@ -50,6 +56,7 @@ class Metrics:
         self.words += size_words
         self.max_message_words = max(self.max_message_words, size_words)
         self.edge_congestion[undirected(u, v)] += 1
+        self.message_sizes[size_words] += 1
 
     def record_broadcast(self) -> None:
         """Record one broadcast operation (message costs counted separately)."""
@@ -77,8 +84,10 @@ class Metrics:
         k = len(edge_keys)
         self.messages += k
         self.words += size_words * k
-        if k and size_words > self.max_message_words:
-            self.max_message_words = size_words
+        if k:
+            if size_words > self.max_message_words:
+                self.max_message_words = size_words
+            self.message_sizes[size_words] += k
         self.edge_congestion.update(edge_keys)
 
     @property
@@ -108,22 +117,30 @@ class Metrics:
             nodes_crashed=self.nodes_crashed,
         )
         out.edge_congestion = Counter(self.edge_congestion)
+        out.message_sizes = Counter(self.message_sizes)
         return out
 
     def delta_since(self, earlier: "Metrics") -> "Metrics":
-        """Costs accumulated since ``earlier`` was snapshotted."""
+        """Costs accumulated since ``earlier`` was snapshotted.
+
+        ``max_message_words`` is the max over the messages sent *within*
+        the window (diffed out of the size histograms), so per-phase
+        attribution never inherits an earlier phase's larger messages.
+        """
+        sizes = self.message_sizes - earlier.message_sizes
         out = Metrics(
             rounds=self.rounds - earlier.rounds,
             messages=self.messages - earlier.messages,
             broadcasts=self.broadcasts - earlier.broadcasts,
             words=self.words - earlier.words,
-            max_message_words=self.max_message_words,
+            max_message_words=max(sizes) if sizes else 0,
             faults_dropped=self.faults_dropped - earlier.faults_dropped,
             faults_duplicated=(self.faults_duplicated
                                - earlier.faults_duplicated),
             nodes_crashed=self.nodes_crashed - earlier.nodes_crashed,
         )
         out.edge_congestion = self.edge_congestion - earlier.edge_congestion
+        out.message_sizes = sizes
         return out
 
     def merge(self, other: "Metrics", *, parallel: bool = False) -> None:
@@ -146,6 +163,7 @@ class Metrics:
         self.faults_duplicated += other.faults_duplicated
         self.nodes_crashed += other.nodes_crashed
         self.edge_congestion.update(other.edge_congestion)
+        self.message_sizes.update(other.message_sizes)
 
     def as_dict(self) -> Dict[str, int]:
         """Summary suitable for experiment tables (drops per-edge detail).

@@ -45,6 +45,7 @@ from repro.congest.metrics import Metrics, undirected as edge_key
 from typing import TYPE_CHECKING
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.congest.faults import FaultPlan
+    from repro.congest.profile import RoundProfiler
     from repro.congest.tracing import Tracer
     from repro.graphs.graph import Graph
 
@@ -284,6 +285,12 @@ class Network:
         :func:`~repro.congest.faults.fault_context` (if any) applies.
         ``None`` and the inert plan are normalized away, so fault-free
         execution takes exactly the pre-fault-plane code paths.
+    profiler:
+        Optional :class:`~repro.congest.profile.RoundProfiler` capturing
+        a per-round metric time series.  When omitted, the ambient
+        profiler installed by :func:`~repro.congest.profile.
+        profile_context` (if any) applies.  Unprofiled executions pay
+        one ``is not None`` check per round and nothing else.
     """
 
     # Cap on the payload-size memo; executions reuse a small set of
@@ -295,7 +302,8 @@ class Network:
                  seed: int = 0, check_sizes: bool = True,
                  tracer: Optional["Tracer"] = None,
                  fast_path: bool = True,
-                 faults: Optional["FaultPlan"] = None):
+                 faults: Optional["FaultPlan"] = None,
+                 profiler: Optional["RoundProfiler"] = None):
         self.graph = graph
         self.tracer = tracer
         self.word_limit = word_limit
@@ -312,6 +320,10 @@ class Network:
         # fault-free delivery paths are the untouched originals.
         self._faults = (faults if faults is not None
                         and not faults.is_null else None)
+        if profiler is None:
+            from repro.congest.profile import active_profiler
+            profiler = active_profiler()
+        self.profiler = profiler
         self._crashed: set = set()
         self.metrics = Metrics()
         self.round = 0
@@ -479,6 +491,9 @@ class Network:
         self.round = 0
         self._next_inboxes = {}
         self._crashed = set()
+        profiler = self.profiler
+        if profiler is not None:
+            profiler.begin_execution(self.metrics)
         if self._faults is not None and self._faults.round_limit is not None:
             # Faulted executions can legitimately livelock (a node spins
             # waiting for a dropped message); clamp so they terminate as
@@ -549,6 +564,12 @@ class Network:
 
             acted = False
             crashed = self._crashed
+            if profiler is not None:
+                # Nodes can only halt themselves during their own
+                # activation, so the pre-loop eligible count equals the
+                # number of nodes that will act this round.
+                eligible = sum(1 for v in active
+                               if not apis[v].halted and v not in crashed)
             for v in sorted(active):
                 api = apis[v]
                 if api.halted or v in crashed:
@@ -563,10 +584,17 @@ class Network:
                     schedule_wake(v, api._wake)
             if acted:
                 last_active_round = self.round
+            if profiler is not None:
+                profiler.record_round(
+                    self.round, self.metrics, acted=eligible,
+                    halted=sum(1 for a in apis.values() if a.halted),
+                    crashed=len(crashed))
             if not self._next_inboxes and not wake_pending:
                 break
 
         self.metrics.rounds += last_active_round
+        if profiler is not None:
+            profiler.end_execution(self.metrics)
         outputs = {v: apis[v]._output for v in self.graph.nodes()}
         halted = {v: apis[v].halted for v in self.graph.nodes()}
         return Execution(outputs=outputs, metrics=self.metrics,
@@ -581,9 +609,11 @@ def run_algorithm(graph: "Graph", factory: Callable[[NodeInfo], Algorithm], *,
                   check_sizes: bool = True, tracer: Optional["Tracer"] = None,
                   max_rounds: int = 5_000_000,
                   fast_path: bool = True,
-                  faults: Optional["FaultPlan"] = None) -> Execution:
+                  faults: Optional["FaultPlan"] = None,
+                  profiler: Optional["RoundProfiler"] = None) -> Execution:
     """One-shot convenience wrapper: build a network and run to quiescence."""
     net = Network(graph, word_limit=word_limit, bcast_only=bcast_only,
                   known_n=known_n, seed=seed, check_sizes=check_sizes,
-                  tracer=tracer, fast_path=fast_path, faults=faults)
+                  tracer=tracer, fast_path=fast_path, faults=faults,
+                  profiler=profiler)
     return net.run(factory, inputs=inputs, max_rounds=max_rounds)

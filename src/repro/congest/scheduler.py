@@ -32,6 +32,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.congest.machine import run_machines
+from repro.congest.profile import mark_phase
 from repro.graphs.graph import Graph
 from repro.primitives.bfs import BFSCollectionMachine
 
@@ -75,6 +76,7 @@ class ScheduleMeasurement:
 def measure_bfs_schedule(graph: Graph, roots: Optional[List[int]] = None, *,
                          seed: int = 0,
                          max_depth: Optional[int] = None,
+                         profiler=None,
                          ) -> ScheduleMeasurement:
     """Run ell delayed BFS algorithms together and measure Theorem 1.4.
 
@@ -86,12 +88,13 @@ def measure_bfs_schedule(graph: Graph, roots: Optional[List[int]] = None, *,
     delays = random_delays(root_list, ell, seed)
     root_map = {j: j for j in root_list}
     budget = max(32, 12 * max(1, int(math.log2(max(graph.n, 2)))) ** 2)
+    mark_phase("bfs-schedule")
     execution = run_machines(
         graph,
         lambda info: BFSCollectionMachine(info, roots=root_map,
                                           delays=delays,
                                           max_depth=max_depth),
-        word_limit=budget, seed=seed)
+        word_limit=budget, seed=seed, profiler=profiler)
     max_ids = 0
     for adapter in execution.algorithms.values():
         max_ids = max(max_ids, adapter.machine.max_inbox_ids)

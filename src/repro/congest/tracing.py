@@ -7,11 +7,20 @@ machine: render them with :func:`format_trace` to see exactly which
 messages crossed which edges in which round.
 
 Tracing is strictly opt-in and adds no overhead when absent.
+
+Traces persist: :meth:`Tracer.to_jsonl` / :meth:`Tracer.from_jsonl`
+round-trip a trace through a JSONL file, so a trace captured during a
+profiled sweep can be stored beside the run and re-rendered later.
+Payloads are repr-encoded -- they are arbitrary algorithm values, and
+``format_trace`` only ever shows their repr, so a reloaded trace
+renders identically to the live one (``None`` payloads stay ``None``).
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 
@@ -108,6 +117,69 @@ class Tracer:
     def messages_between(self, u: int, v: int) -> List[TraceEvent]:
         return [e for e in self.sends()
                 if {e.node, e.peer} == {u, v}]
+
+    # -- persistence ----------------------------------------------------
+    def to_jsonl(self, path: "str | Path") -> None:
+        """Write the trace to ``path``: a header line, then one line per
+        event, payloads repr-encoded."""
+        with open(path, "w", encoding="utf-8") as handle:
+            header = {"kind": "tracer", "max_events": self.max_events,
+                      "dropped": self.dropped}
+            handle.write(json.dumps(header, sort_keys=True,
+                                    separators=(",", ":")) + "\n")
+            for event in self.events:
+                row: Dict[str, Any] = {"round": event.round,
+                                       "kind": event.kind,
+                                       "node": event.node}
+                if event.peer is not None:
+                    row["peer"] = event.peer
+                if event.payload is not None:
+                    row["payload"] = repr(event.payload)
+                handle.write(json.dumps(row, sort_keys=True,
+                                        separators=(",", ":")) + "\n")
+
+    @classmethod
+    def from_jsonl(cls, path: "str | Path") -> "Tracer":
+        """Reload a trace written by :meth:`to_jsonl`.
+
+        Payloads come back as :class:`ReprPayload` wrappers whose repr
+        is the stored text, so :func:`format_trace` renders the reloaded
+        trace exactly as it rendered the live one.  The ``node_filter``
+        is not persisted (it already did its filtering at record time).
+        """
+        with open(path, "r", encoding="utf-8") as handle:
+            header = json.loads(handle.readline())
+            if header.get("kind") != "tracer":
+                raise ValueError(f"{path}: not a tracer JSONL file")
+            tracer = cls(max_events=int(header["max_events"]),
+                         dropped=int(header.get("dropped", 0)))
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                row = json.loads(line)
+                payload = row.get("payload")
+                tracer.events.append(TraceEvent(
+                    round=int(row["round"]), kind=str(row["kind"]),
+                    node=int(row["node"]), peer=row.get("peer"),
+                    payload=(None if payload is None
+                             else ReprPayload(payload))))
+        return tracer
+
+
+class ReprPayload:
+    """A reloaded trace payload: carries only the original's repr text."""
+
+    __slots__ = ("text",)
+
+    def __init__(self, text: str):
+        self.text = text
+
+    def __repr__(self) -> str:
+        return self.text
+
+    def __eq__(self, other: Any) -> bool:
+        return isinstance(other, ReprPayload) and other.text == self.text
 
 
 def format_trace(tracer: Tracer, *, limit: int = 200) -> str:

@@ -44,6 +44,7 @@ from repro.congest.errors import AlgorithmError
 from repro.congest.machine import Machine
 from repro.congest.metrics import Metrics
 from repro.congest.network import make_node_info, payload_words
+from repro.congest.profile import mark_phase
 from repro.decomposition.ldc import LDCDecomposition, build_ldc
 from repro.graphs.graph import Graph
 from repro.primitives.global_tree import build_global_tree
@@ -156,6 +157,7 @@ def simulate_bcongest(graph: Graph, factory: MachineFactory, *,
     total = Metrics()
 
     # ---------------- Preprocessing ----------------
+    mark_phase("preprocessing")
     tree = build_global_tree(graph, seed=seed)
     total.merge(tree.metrics)
     ldc = build_ldc(graph, beta=beta, seed=seed + 1)
@@ -179,6 +181,7 @@ def simulate_bcongest(graph: Graph, factory: MachineFactory, *,
     up_paths = {v: path_to_root(parent, v) for v in graph.nodes()}
 
     # ---------------- Simulation phases ----------------
+    mark_phase("simulation")
     inboxes: Dict[int, List[Tuple[int, Any]]] = {}
     broadcasts_simulated = 0
     phase = 0
@@ -242,6 +245,7 @@ def simulate_bcongest(graph: Graph, factory: MachineFactory, *,
     simulation = total.delta_since(preprocessing)
 
     # ---------------- Output delivery ----------------
+    mark_phase("output-delivery")
     outputs = {v: machines[v].output() for v in graph.nodes()}
     out_packets: List[Packet] = []
     output_words = 0

@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.congest.metrics import Metrics
+from repro.congest.profile import mark_phase
 from repro.core.bcongest_sim import SimulationReport, simulate_bcongest
 from repro.graphs.graph import Graph
 from repro.primitives.bellman_ford import BellmanFordCollectionMachine
@@ -97,6 +98,7 @@ def weighted_apsp(graph: Graph, *, seed: int = 0,
 
     # Shared randomness: the leader draws the delays and streams them
     # down its BFS tree (§3.3's implementation, metered literally).
+    mark_phase("shared-randomness")
     tree = build_global_tree(graph, seed=seed)
     total.merge(tree.metrics)
     delays = make_delays(n, seed)

@@ -217,7 +217,9 @@ def run_sweep(names: Optional[Sequence[str]] = None, *,
               decomposition_store_dir: "Optional[str]" = None,
               decomposition_cache_size: Optional[int] = None,
               telemetry: bool = True,
-              bench_history_dir: "Optional[str]" = None) -> SweepOutcome:
+              bench_history_dir: "Optional[str]" = None,
+              profile_store_dir: "Optional[str]" = None,
+              cprofile: Optional[bool] = None) -> SweepOutcome:
     """Run (or resume) one sweep; see the module docstring.
 
     ``fresh=True`` always starts a new run directory even when an
@@ -267,8 +269,22 @@ def run_sweep(names: Optional[Sequence[str]] = None, *,
     (:mod:`repro.store.bench_history`), and surfaced as
     ``outcome.history``.  ``None`` (the default) keeps programmatic
     sweeps hermetic; the CLI wires it to the artifact-store root.
+
+    ``profile_store_dir`` turns on per-cell round profiling (``repro
+    sweep --profile``): every executed cell records its per-round
+    metric timeline and publishes it to the profiles artifact family
+    under that store root, keyed by the full cell coordinates plus the
+    code revision; the cell's record gains only the ``profile_source``
+    provenance label (a NONDETERMINISTIC_FIELD), so canonical records
+    are byte-identical profile on/off.  ``cprofile=True`` additionally
+    wraps each cell body in ``cProfile`` and attaches the top hot
+    functions to the result (``CellResult.hot``), aggregated by
+    ``repro runs report``.  Both are process-wide settings (propagated
+    to pool workers through the environment) and left untouched when
+    None.
     """
     from repro.runner import decomposition_cache, graph_cache, oracle_cache
+    from repro.runner import profile_capture
 
     if graph_cache_size is not None:
         graph_cache.configure(graph_cache_size)
@@ -282,6 +298,10 @@ def run_sweep(names: Optional[Sequence[str]] = None, *,
         decomposition_cache.configure(decomposition_cache_size)
     if decomposition_store_dir is not None:
         decomposition_cache.configure_store(decomposition_store_dir)
+    if profile_store_dir is not None:
+        profile_capture.configure_profiles(profile_store_dir)
+    if cprofile is not None:
+        profile_capture.configure_cprofile(cprofile)
 
     if faults is not None:
         from repro.congest.faults import get_fault_profile
@@ -307,20 +327,27 @@ def run_sweep(names: Optional[Sequence[str]] = None, *,
             effective_store = graph_cache.effective_store()
             effective_oracles = oracle_cache.effective_store()
             effective_decompositions = decomposition_cache.effective_store()
-            run = store.create_run(
-                specs, params, revision=revision,
-                extra={"graph_cache_size": graph_cache.effective_maxsize(),
-                       "graph_store": (None if effective_store is None
-                                       else str(effective_store.root)),
-                       "oracle_cache_size":
-                           oracle_cache.effective_maxsize(),
-                       "oracle_store": (None if effective_oracles is None
-                                        else str(effective_oracles.root)),
-                       "decomposition_cache_size":
-                           decomposition_cache.effective_maxsize(),
-                       "decomposition_store":
-                           (None if effective_decompositions is None
-                            else str(effective_decompositions.root))})
+            extra = {"graph_cache_size": graph_cache.effective_maxsize(),
+                     "graph_store": (None if effective_store is None
+                                     else str(effective_store.root)),
+                     "oracle_cache_size":
+                         oracle_cache.effective_maxsize(),
+                     "oracle_store": (None if effective_oracles is None
+                                      else str(effective_oracles.root)),
+                     "decomposition_cache_size":
+                         decomposition_cache.effective_maxsize(),
+                     "decomposition_store":
+                         (None if effective_decompositions is None
+                          else str(effective_decompositions.root))}
+            # Profiling knobs appear in the manifest only when on, so
+            # unprofiled manifests keep their exact key set.
+            profiles = profile_capture.effective_profile_store()
+            if profiles is not None:
+                extra["profile_store"] = str(profiles.root)
+            if profile_capture.cprofile_enabled():
+                extra["cprofile"] = True
+            run = store.create_run(specs, params, revision=revision,
+                                   extra=extra)
         else:
             planned = set(spec.key for spec in specs)
             cached = {result.key: result for result in run.load_results()

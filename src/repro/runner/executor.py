@@ -105,18 +105,46 @@ def execute_cell(spec: JobSpec,
         return CellResult(spec=spec, status=ERROR, wall_time=0.0,
                           error="crash instrumentation requires a "
                                 "worker pool (workers > 1)")
+    # Opt-in observability: a round profiler when a profiles store (or
+    # --profile) is configured, cProfile when --cprofile is.  Both knobs
+    # resolve through the environment so pool workers pick them up; with
+    # neither set this block adds two cheap checks and nothing else.
+    from repro.runner import profile_capture
+    profiler = None
+    if profile_capture.effective_profile_store() is not None:
+        from repro.congest.profile import RoundProfiler
+        profiler = RoundProfiler()
+    cprofiler = None
+    if profile_capture.cprofile_enabled():
+        import cProfile
+        cprofiler = cProfile.Profile()
+
     start = time.perf_counter()
     try:
         with _cell_alarm(timeout):
             if spec.delay:
                 time.sleep(spec.delay)
-            record = run_differential(spec.scenario, spec.algorithm,
-                                      size=spec.size, seed=spec.seed,
-                                      faults=spec.faults,
-                                      fault_seed=spec.fault_seed)
+            from repro.congest.profile import profile_context
+            with profile_context(profiler):
+                if cprofiler is not None:
+                    cprofiler.enable()
+                try:
+                    record = run_differential(spec.scenario, spec.algorithm,
+                                              size=spec.size, seed=spec.seed,
+                                              faults=spec.faults,
+                                              fault_seed=spec.fault_seed)
+                finally:
+                    if cprofiler is not None:
+                        cprofiler.disable()
+        payload = record.as_dict()
+        if profiler is not None:
+            payload["profile_source"] = profile_capture.publish_profile(
+                spec, profiler.profile())
+        hot = (profile_capture.hot_rows(cprofiler)
+               if cprofiler is not None else None)
         return CellResult(spec=spec, status=DONE,
                           wall_time=time.perf_counter() - start,
-                          record=record.as_dict())
+                          record=payload, hot=hot)
     except CellTimeout:
         return CellResult(spec=spec, status=TIMEOUT,
                           wall_time=time.perf_counter() - start,

@@ -33,9 +33,13 @@ CellIdentity = Tuple[str, str, int, int]
 # depends on cache and store state, never on the cell's deterministic
 # payload.  ``fault_source`` is the fault plan's provenance label (which
 # profile realized it) -- pinned here so fault replays compare on the
-# injected payload, not the label.
+# injected payload, not the label.  ``profile_source`` names where the
+# cell's round profile went (the profiles store, or "captured") when the
+# sweep ran with --profile -- observability provenance, so canonical
+# records stay byte-identical profile on or off.
 NONDETERMINISTIC_FIELDS = ("wall_time", "graph_source", "oracle_source",
-                           "decomposition_source", "fault_source")
+                           "decomposition_source", "fault_source",
+                           "profile_source")
 
 
 def error_headline(error: Optional[str]) -> str:
@@ -136,6 +140,11 @@ class CellResult:
     the executor gave up after its retry budget, recorded the cell as
     ``error``, and a resumed run will *skip* it (the record is in the
     store) instead of re-killing the pool.
+
+    ``hot`` carries the cell's top hot functions when the sweep ran
+    with ``--cprofile``: ``[label, calls, cumulative_seconds]`` rows,
+    picklable so they ride back from pool workers.  Serialized only
+    when present, so unprofiled result rows keep their exact format.
     """
 
     spec: JobSpec
@@ -145,6 +154,7 @@ class CellResult:
     error: Optional[str] = None
     attempts: int = 1
     poisoned: bool = False
+    hot: Optional[List[List[Any]]] = None
 
     @property
     def passed(self) -> bool:
@@ -171,6 +181,8 @@ class CellResult:
                "attempts": self.attempts}
         if self.poisoned:
             out["poisoned"] = True
+        if self.hot is not None:
+            out["hot"] = self.hot
         return out
 
     @classmethod
@@ -181,7 +193,8 @@ class CellResult:
                    record=payload.get("record"),
                    error=payload.get("error"),
                    attempts=payload.get("attempts", 1),
-                   poisoned=payload.get("poisoned", False))
+                   poisoned=payload.get("poisoned", False),
+                   hot=payload.get("hot"))
 
 
 def build_specs(names: Optional[Iterable[str]] = None, *,

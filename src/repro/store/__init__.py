@@ -23,7 +23,11 @@ families** over a shared byte layer:
   keyed by ``(kind, name, host class, revision, sequence)``: every
   ``repro bench`` invocation and completed sweep appends timings,
   speedups, and store hit rates, and ``repro bench gate`` compares the
-  newest record against the median of the last K same-host-class ones.
+  newest record against the median of the last K same-host-class ones;
+* :mod:`repro.store.profiles` -- per-round execution timelines captured
+  by ``repro sweep --profile``, keyed by the full cell coordinates
+  ``(scenario, algorithm, size, seed, faults, fault_seed, revision)``
+  and rendered by ``repro profile show`` / ``diff``.
 
 Consumers: the fall-through chains in :mod:`repro.runner.graph_cache`,
 :mod:`repro.runner.oracle_cache`, and :mod:`repro.runner.
@@ -71,15 +75,23 @@ from repro.store.bench_history import (
     host_class,
     rolling_gate,
 )
+from repro.store.profiles import (
+    PROFILE_FAMILY,
+    ProfileStore,
+    profile_identity,
+    profile_key,
+)
 
 __all__ = [
     "ArtifactEntry", "ArtifactFamily", "ArtifactStore",
     "BENCH_HISTORY_FAMILY", "BenchHistoryRecord", "BenchHistoryStore",
     "DECOMPOSITION_FAMILY", "DEFAULT_STORE_DIR", "DecompositionStore",
     "GRAPH_FAMILY", "GateVerdict", "GraphStore", "ORACLE_FAMILY",
-    "OracleStore", "QUARANTINE_DIR", "SCHEMA_VERSION", "all_families",
+    "OracleStore", "PROFILE_FAMILY", "ProfileStore",
+    "QUARANTINE_DIR", "SCHEMA_VERSION", "all_families",
     "artifact_key",
     "decomposition_key", "family_names", "get_family", "graph_key",
-    "history_key", "host_class", "oracle_key", "register_family",
+    "history_key", "host_class", "oracle_key", "profile_identity",
+    "profile_key", "register_family",
     "rolling_gate", "warm", "warm_decompositions", "warm_oracles",
 ]

@@ -18,8 +18,12 @@ byte-identical with telemetry on or off (pinned by
 ``tests/test_telemetry.py`` the same way the ``*_source`` fields are).
 
 :mod:`repro.telemetry.report` renders a recorded timeline for
-``repro runs report``: slowest cells, retry/timeout clusters, and
-per-family cache efficacy over the life of the run.
+``repro runs report``: slowest cells, retry/timeout clusters,
+per-family cache efficacy over the life of the run, and (for sweeps
+run under ``--cprofile``) the hot-function rollup.
+:mod:`repro.telemetry.watch` tails a *live* timeline for
+``repro runs watch``: in-place progress, cache hit rates so far, and
+the slowest cells while the sweep is still running.
 """
 
 from repro.telemetry.events import (
@@ -29,8 +33,10 @@ from repro.telemetry.events import (
     telemetry_path,
 )
 from repro.telemetry.report import run_report, run_report_payload
+from repro.telemetry.watch import render_watch, watch_run, watch_snapshot
 
 __all__ = [
-    "TELEMETRY_NAME", "RunTelemetry", "load_events", "run_report",
-    "run_report_payload", "telemetry_path",
+    "TELEMETRY_NAME", "RunTelemetry", "load_events", "render_watch",
+    "run_report", "run_report_payload", "telemetry_path", "watch_run",
+    "watch_snapshot",
 ]

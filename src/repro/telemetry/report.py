@@ -105,6 +105,28 @@ def _slowest_rows(results: Sequence[CellResult], top: int) -> List[tuple]:
             for r in ranked]
 
 
+def _hot_function_rows(results: Sequence[CellResult],
+                       top: int) -> List[tuple]:
+    """Top hot functions aggregated across all cells' cProfile rows.
+
+    Each cell run under ``sweep --cprofile`` carries its own top-N
+    ``[label, calls, cumulative_seconds]`` rows; summing per label
+    across cells ranks the functions that dominate the *sweep*, not
+    any single cell.  Empty when no cell was cProfiled.
+    """
+    seconds: Dict[str, float] = {}
+    calls: Dict[str, int] = {}
+    cells: Dict[str, int] = {}
+    for result in results:
+        for label, count, cumulative in result.hot or ():
+            seconds[label] = seconds.get(label, 0.0) + float(cumulative)
+            calls[label] = calls.get(label, 0) + int(count)
+            cells[label] = cells.get(label, 0) + 1
+    ranked = sorted(seconds, key=lambda label: (-seconds[label], label))
+    return [(label, cells[label], calls[label], round(seconds[label], 4))
+            for label in ranked[:top]]
+
+
 def _fault_summary(results: Sequence[CellResult]) -> Dict[str, Any]:
     """Fault-injection totals over a run's record set (empty if clean)."""
     from repro.runner.engine import fault_counts
@@ -151,6 +173,13 @@ def run_report_payload(run, *, top: int = 10) -> Dict[str, Any]:
     faults = _fault_summary(results)
     if faults:
         payload["faults"] = faults
+    # Hot-function rollup, additive the same way: present only when at
+    # least one cell ran under sweep --cprofile.
+    hot = _hot_function_rows(results, top)
+    if hot:
+        payload["hot_functions"] = [
+            {"function": row[0], "cells": row[1], "calls": row[2],
+             "seconds": row[3]} for row in hot]
     return payload
 
 
@@ -210,4 +239,14 @@ def run_report(run, *, top: int = 10) -> str:
               c["decompositions"]) for c in payload["cache_efficacy"]],
             title="cache efficacy over the timeline (hit share per "
                   "completion segment):"))
+
+    hot = payload.get("hot_functions")
+    if hot:
+        lines.append("")
+        lines.append(format_table(
+            ["function", "cells", "calls", "cum-seconds"],
+            [(h["function"], h["cells"], h["calls"], h["seconds"])
+             for h in hot],
+            title=f"hot functions across cProfiled cells "
+                  f"(top {len(hot)} by cumulative time):"))
     return "\n".join(lines)

@@ -56,6 +56,7 @@ class DifferentialRecord:
     fault_seed: int = 0            # the --fault-seed the plan derived from
     fault_verdict: str = ""        # correct-under-faults/degraded/diverged
     fault_source: str = "none"     # plan provenance (nondeterministic field)
+    profile_source: str = "none"   # round-profile destination under --profile
 
     @property
     def passed(self) -> bool:
@@ -94,6 +95,10 @@ class DifferentialRecord:
             out["fault_seed"] = self.fault_seed
             out["fault_verdict"] = self.fault_verdict
             out["fault_source"] = self.fault_source
+        # Likewise: profile provenance appears only on profiled records,
+        # and is stripped from canonical payloads either way.
+        if self.profile_source != "none":
+            out["profile_source"] = self.profile_source
         return out
 
     def canonical_dict(self) -> Dict[str, Any]:

@@ -40,9 +40,13 @@ def _graph_cache_isolation():
     test process that would leak one test's store into the next.
     """
     yield
-    from repro.runner import decomposition_cache, graph_cache
+    from repro.runner import decomposition_cache, graph_cache, \
+        profile_capture
 
     graph_cache.configure(graph_cache.DEFAULT_MAXSIZE)
     graph_cache.configure_store(None)
     decomposition_cache.configure(decomposition_cache.DEFAULT_MAXSIZE)
     decomposition_cache.configure_store(None)
+    # The profile-capture plane exports env vars the same way; reset it
+    # to pristine so one test's --profile/--cprofile cannot leak.
+    profile_capture.reset()

@@ -94,3 +94,46 @@ def test_trace_event_dataclass():
     e = TraceEvent(round=3, kind="send", node=1, peer=2, payload="x")
     assert (e.round, e.kind, e.node, e.peer, e.payload) == \
         (3, "send", 1, 2, "x")
+
+
+# ---------------------------------------------------------------------------
+# Persistence: to_jsonl / from_jsonl
+# ---------------------------------------------------------------------------
+
+def test_trace_jsonl_roundtrip_renders_identically(tmp_path):
+    tracer = _run_traced()
+    path = tmp_path / "trace.jsonl"
+    tracer.to_jsonl(path)
+    reloaded = Tracer.from_jsonl(path)
+    assert len(reloaded.events) == len(tracer.events)
+    assert reloaded.max_events == tracer.max_events
+    assert reloaded.dropped == tracer.dropped
+    for live, back in zip(tracer.events, reloaded.events):
+        assert (back.round, back.kind, back.node, back.peer) == \
+            (live.round, live.kind, live.node, live.peer)
+        # Payloads come back as repr-wrappers: same rendered text.
+        assert (back.payload is None) == (live.payload is None)
+        if live.payload is not None:
+            assert repr(back.payload) == repr(live.payload)
+    # The whole point: a reloaded trace formats byte-identically.
+    assert format_trace(reloaded) == format_trace(tracer)
+
+
+def test_trace_jsonl_preserves_truncation(tmp_path):
+    tracer = _run_traced(max_events=2)
+    path = tmp_path / "trace.jsonl"
+    tracer.to_jsonl(path)
+    reloaded = Tracer.from_jsonl(path)
+    assert reloaded.truncated and reloaded.dropped == tracer.dropped
+    assert "trace truncated" in format_trace(reloaded)
+
+
+def test_trace_jsonl_rejects_foreign_files(tmp_path):
+    import json
+
+    import pytest
+
+    path = tmp_path / "other.jsonl"
+    path.write_text(json.dumps({"kind": "telemetry"}) + "\n")
+    with pytest.raises(ValueError, match="not a tracer"):
+        Tracer.from_jsonl(path)
