@@ -31,6 +31,13 @@ Registered today:
   vs. the cache layer.  Writes ``BENCH_graph_core.json``.
 * ``simulator-fastpath`` -- the PR-1 round-loop benchmark (scalar vs.
   vectorized broadcast delivery) re-expressed in the shared schema.
+* ``kernels`` -- the array-native round engines (:mod:`repro.kernels`):
+  a multi-root BFS wavefront execution under the vectorized per-machine
+  round loop vs. the whole-execution numpy kernel, outputs and full
+  metering verified identical before any timing.  The full run is the
+  ``>= 10x on the metered hot loop`` evidence (n >= 1000); ``--smoke``
+  shrinks the workload for the CI ``>= 3x`` gate.  Writes
+  ``BENCH_kernels.json``.
 * ``graph-store`` -- the on-disk snapshot store (:mod:`repro.store`):
   cold generator build vs. mmap'd snapshot load vs. in-process LRU hit
   per scenario, plus a sweep's whole per-cell construction bill under
@@ -779,6 +786,79 @@ def bench_decomposition_pipeline(smoke: bool = False) -> BenchReport:
         scenario=" + ".join(f"{name}(size={size})" for name, size in cases)
                  + " snapshots; cold vs warm pipeline-input bill",
         timings=timings, speedups=speedups, extra=extra)
+
+
+# ---------------------------------------------------------------------------
+# kernels: the array-native round engines vs. the vectorized round loop
+# ---------------------------------------------------------------------------
+
+# The hot loop being measured is the direct multi-root BFS execution:
+# the vectorized path steps every BFSCollectionMachine every round
+# (Python-level per-node, per-message work); the kernel computes the
+# whole execution as numpy frontier sweeps and replays the metering in
+# closed form.  Sizes: the full workload is n >= 1000 (the 10x claim's
+# floor), sparse so round count -- not density -- dominates; smoke is
+# CI-sized (the 3x gate leaves headroom for slow runners).
+_KERNEL_FULL = {"n": 1200, "p": 0.008, "roots": 256, "reps": 3}
+_KERNEL_SMOKE = {"n": 300, "p": 0.03, "roots": 64, "reps": 1}
+
+
+@register_benchmark("kernels")
+def bench_kernels(smoke: bool = False) -> BenchReport:
+    from repro.congest.machine import run_machines
+    from repro.core.bfs_collections import _message_budget, shared_delays
+    from repro.graphs import gnp_streaming
+    from repro.kernels import jit, wavefront
+    from repro.primitives.bfs import BFSCollectionMachine
+
+    params = _KERNEL_SMOKE if smoke else _KERNEL_FULL
+    n, n_roots = params["n"], params["roots"]
+    reps = params["reps"]
+    graph = gnp_streaming(n, params["p"], seed=11)
+    root_list = list(range(n_roots))
+    roots = {j: j for j in root_list}
+    delays = shared_delays(root_list, len(root_list), 11)
+    budget = _message_budget(graph.n)
+
+    def vectorized():
+        return run_machines(
+            graph,
+            lambda info: BFSCollectionMachine(info, roots=roots,
+                                              delays=delays),
+            word_limit=budget, seed=7)
+
+    def kernel():
+        return wavefront.direct_execution(graph, roots, delays,
+                                          word_limit=budget)
+
+    # Exactness first, timing second: the speedup claim is only worth
+    # reporting for a kernel that reproduces the vectorized execution
+    # bit for bit.  Explicit checks (not asserts) so `python -O` cannot
+    # silently skip them.
+    base = vectorized()
+    fast = kernel()
+    if fast.outputs != base.outputs:
+        raise RuntimeError("kernel outputs diverged from the "
+                           "vectorized path")
+    if (fast.metrics.as_dict() != base.metrics.as_dict()
+            or dict(fast.metrics.edge_congestion)
+            != dict(base.metrics.edge_congestion)):
+        raise RuntimeError("kernel metering diverged from the "
+                           "vectorized path")
+
+    t_vec = best_of(vectorized, reps)
+    t_kernel = best_of(kernel, reps)
+    return BenchReport(
+        name="kernels",
+        scenario=(f"gnp_streaming(n={n},p={params['p']},seed=11), "
+                  f"{n_roots}-root BFS wavefront, word budget {budget}"),
+        timings={"bfs_wavefront.vectorized_round_loop": t_vec,
+                 "bfs_wavefront.kernel": t_kernel},
+        speedups={"wavefront_kernel_vs_vectorized": t_vec / t_kernel},
+        extra={"smoke": smoke, "n": graph.n, "m": graph.m,
+               "roots": n_roots, "rounds": base.metrics.rounds,
+               "messages": base.metrics.messages,
+               "numba_jit": jit.available()})
 
 
 # ---------------------------------------------------------------------------

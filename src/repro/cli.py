@@ -32,6 +32,8 @@ Examples
     python -m repro.cli runs report <run-id>              # telemetry timeline
     python -m repro.cli runs watch <run-id>               # live sweep progress
     python -m repro.cli sweep --profile --cprofile        # round profiles + hot fns
+    python -m repro.cli sweep --kernels                   # array-native round engines
+    python -m repro.cli bench kernels --smoke             # kernel speedup gate
     python -m repro.cli profile ls                        # stored round profiles
     python -m repro.cli profile show complete apsp-tradeoff --size 16
     python -m repro.cli profile diff complete apsp-tradeoff --size 16 \
@@ -302,6 +304,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             profile_capture.configure_profiles(None)
         if not args.cprofile:
             profile_capture.configure_cprofile(False)
+        # Kernels follow the same rule: the flag decides, so an ambient
+        # REPRO_KERNELS env var cannot switch the plane on behind the
+        # CLI (run_sweep configures the env for pool workers).
         outcome = run_sweep(args.names, sizes=args.sizes, seeds=args.seeds,
                             workers=args.workers, timeout=args.timeout,
                             retries=args.retries, store=store,
@@ -320,7 +325,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                                                if args.bench_history
                                                else None),
                             profile_store_dir=profile_store_dir,
-                            cprofile=(True if args.cprofile else None))
+                            cprofile=(True if args.cprofile else None),
+                            kernels=bool(args.kernels))
     except (KeyError, ValueError) as exc:
         message = exc.args[0] if exc.args else str(exc)
         print(f"error: {message}", file=sys.stderr)
@@ -376,6 +382,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             print(f"decomposition sources: {sources}"
                   + ("" if decomposition_store_dir
                      else " (decomposition store off)"))
+        if summary["engine_sources"]:
+            sources = ", ".join(
+                f"{count} {source}"
+                for source, count in sorted(
+                    summary["engine_sources"].items()))
+            print(f"engine sources: {sources}")
         fault_counters = summary.get("fault_counters")
         if fault_counters:
             verdicts = fault_counters.get("verdicts") or {}
@@ -1178,6 +1190,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run each cell under cProfile and record its top "
                         "hot functions in the cell result, aggregated "
                         "across the run by `repro runs report` "
+                        "(default: off)")
+    p.add_argument("--kernels", action=argparse.BooleanOptionalAction,
+                   default=False,
+                   help="run eligible cells on the array-native round "
+                        "engines (src/repro/kernels/): whole-execution "
+                        "numpy sweeps with exact metering replication; "
+                        "records gain an engine_source provenance label "
+                        "and stay byte-identical kernels on or off "
                         "(default: off)")
     p.add_argument("--list-runs", action="store_true",
                    help="list stored runs and exit")

@@ -142,7 +142,8 @@ def simulate_bcongest(graph: Graph, factory: MachineFactory, *,
                       inputs: Optional[Dict[int, Any]] = None,
                       seed: int = 0, beta: float = 0.5,
                       message_words: int = 8,
-                      max_phases: int = 1_000_000) -> SimulationReport:
+                      max_phases: int = 1_000_000,
+                      plan=None) -> SimulationReport:
     """Run the Theorem 2.1 simulation of the machine collection ``factory``.
 
     ``message_words`` bounds the size of A's own broadcast payloads (the
@@ -153,6 +154,12 @@ def simulate_bcongest(graph: Graph, factory: MachineFactory, *,
     with the same ``seed``, so a direct execution and this simulation
     are comparable message-for-message and must produce identical
     outputs.
+
+    ``plan`` (a :class:`repro.kernels.plan.BcongestPlan`) replays a
+    precomputed execution: the same per-phase transport packets are
+    routed through the same metered primitives in the same order, so the
+    metrics are byte-identical, but no machines are constructed or
+    stepped.  Preprocessing and output delivery are unchanged.
     """
     total = Metrics()
 
@@ -170,12 +177,14 @@ def simulate_bcongest(graph: Graph, factory: MachineFactory, *,
     members = ldc.members()
     center_of = ldc.center_of
 
-    # Cluster centers instantiate their members' machines locally.
+    # Cluster centers instantiate their members' machines locally (a
+    # kernel-plan replay skips the machines entirely).
     machines: Dict[int, Machine] = {}
-    for v in graph.nodes():
-        info = make_node_info(graph, v, inputs=inputs, known_n=True,
-                              seed=seed)
-        machines[v] = factory(info)
+    if plan is None:
+        for v in graph.nodes():
+            info = make_node_info(graph, v, inputs=inputs, known_n=True,
+                                  seed=seed)
+            machines[v] = factory(info)
 
     down_paths = {v: path_from_root(parent, v) for v in graph.nodes()}
     up_paths = {v: path_to_root(parent, v) for v in graph.nodes()}
@@ -187,66 +196,93 @@ def simulate_bcongest(graph: Graph, factory: MachineFactory, *,
     phase = 0
     executed_phases = 0
     transport_limit = message_words + 3  # payload + origin + dest + slack
-    while True:
-        phase += 1
-        if phase > max_phases:
-            raise AlgorithmError("simulation exceeded max_phases")
-        executed_phases = phase
-        current, inboxes = inboxes, {}
-        broadcasters: Dict[int, Any] = {}
-        for v in graph.nodes():
-            machine = machines[v]
-            if machine.halted:
-                continue
-            payload = machine.on_round(phase, current.get(v, []))
-            if payload is not None:
+    if plan is not None:
+        # Kernel replay: the broadcast schedule is precomputed; route the
+        # identical per-phase transport packets through the identical
+        # metered calls (sizes, order, and oversize checks match the
+        # stepped loop, so metrics come out byte-identical).
+        for phase, scheduled in plan.phase_payloads:
+            packets: List[Packet] = []
+            for v, payload in scheduled:
                 if payload_words(payload) > message_words:
                     raise AlgorithmError(
                         f"simulated algorithm broadcast "
                         f"{payload_words(payload)} words > {message_words}")
-                broadcasters[v] = payload
                 broadcasts_simulated += 1
-
-        if broadcasters:
-            # Intra-cluster delivery: free, the center knows everything.
-            for v, payload in broadcasters.items():
-                for u in graph.neighbors(v):
-                    if center_of[u] == center_of[v]:
-                        inboxes.setdefault(u, []).append((v, payload))
-            # Inter-cluster delivery: downcast + F edge + upcast, one
-            # packet per (broadcaster, neighboring cluster).
-            packets: List[Packet] = []
-            for v, payload in broadcasters.items():
                 for (_v, u_ext) in ldc.out_edges[v]:
                     path = (down_paths[v] + (u_ext,)
                             + up_paths[u_ext][1:])
                     packets.append(Packet(path=path, payload=(v, payload)))
             if packets:
-                deliveries, metrics = route_packets(
+                _deliveries, metrics = route_packets(
                     graph, packets, word_limit=transport_limit)
                 total.merge(metrics)
-                for delivery in deliveries:
-                    src, payload = delivery.payload
-                    receiving_center = delivery.dest
-                    for u in members[receiving_center]:
-                        if src in graph.neighbors(u):
-                            inboxes.setdefault(u, []).append((src, payload))
+        executed_phases = plan.executed_phases
+    else:
+        while True:
+            phase += 1
+            if phase > max_phases:
+                raise AlgorithmError("simulation exceeded max_phases")
+            executed_phases = phase
+            current, inboxes = inboxes, {}
+            broadcasters: Dict[int, Any] = {}
+            for v in graph.nodes():
+                machine = machines[v]
+                if machine.halted:
+                    continue
+                payload = machine.on_round(phase, current.get(v, []))
+                if payload is not None:
+                    if payload_words(payload) > message_words:
+                        raise AlgorithmError(
+                            f"simulated algorithm broadcast "
+                            f"{payload_words(payload)} words > "
+                            f"{message_words}")
+                    broadcasters[v] = payload
+                    broadcasts_simulated += 1
 
-        if not inboxes:
-            live = [m for m in machines.values() if not m.halted]
-            if not live:
-                break
-            wakes = [m.wake_round() for m in live]
-            future = [w for w in wakes if w is not None and w > phase]
-            if all(m.passive() for m in live):
-                if not future:
+            if broadcasters:
+                # Intra-cluster delivery: free, the center knows all.
+                for v, payload in broadcasters.items():
+                    for u in graph.neighbors(v):
+                        if center_of[u] == center_of[v]:
+                            inboxes.setdefault(u, []).append((v, payload))
+                # Inter-cluster delivery: downcast + F edge + upcast, one
+                # packet per (broadcaster, neighboring cluster).
+                packets = []
+                for v, payload in broadcasters.items():
+                    for (_v, u_ext) in ldc.out_edges[v]:
+                        path = (down_paths[v] + (u_ext,)
+                                + up_paths[u_ext][1:])
+                        packets.append(
+                            Packet(path=path, payload=(v, payload)))
+                if packets:
+                    deliveries, metrics = route_packets(
+                        graph, packets, word_limit=transport_limit)
+                    total.merge(metrics)
+                    for delivery in deliveries:
+                        src, payload = delivery.payload
+                        receiving_center = delivery.dest
+                        for u in members[receiving_center]:
+                            if src in graph.neighbors(u):
+                                inboxes.setdefault(u, []).append(
+                                    (src, payload))
+
+            if not inboxes:
+                live = [m for m in machines.values() if not m.halted]
+                if not live:
                     break
-                phase = min(future) - 1
+                wakes = [m.wake_round() for m in live]
+                future = [w for w in wakes if w is not None and w > phase]
+                if all(m.passive() for m in live):
+                    if not future:
+                        break
+                    phase = min(future) - 1
     simulation = total.delta_since(preprocessing)
 
     # ---------------- Output delivery ----------------
     mark_phase("output-delivery")
-    outputs = {v: machines[v].output() for v in graph.nodes()}
+    outputs = (plan.outputs if plan is not None
+               else {v: machines[v].output() for v in graph.nodes()})
     out_packets: List[Packet] = []
     output_words = 0
     for v in graph.nodes():

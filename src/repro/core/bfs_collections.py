@@ -37,6 +37,7 @@ from repro.core.tradeoff_sim_star import simulate_aggregation_star
 from repro.decomposition.ensemble import build_ensemble
 from repro.decomposition.pruning import build_pruned_hierarchy
 from repro.graphs.graph import Graph
+from repro.kernels import config as kernels
 from repro.primitives.bfs import BFSCollectionMachine
 from repro.primitives.global_tree import build_global_tree, disseminate
 
@@ -86,11 +87,20 @@ def n_bfs_trees_star(graph: Graph, eps: float, *, seed: int = 0,
     def factory(info):
         return BFSCollectionMachine(info, roots=root_map, delays=delays)
 
-    report = simulate_aggregation_star(
-        graph, hierarchy, factory,
-        aggregate=BFSCollectionMachine.aggregate,
-        seed=seed, message_words=_message_budget(n),
-        include_tree_preprocessing=False)
+    report = None
+    if kernels.engine_ready():
+        from repro.kernels import wavefront
+        report = wavefront.star_report(
+            graph, hierarchy, root_map, delays,
+            message_words=_message_budget(n))
+        if report is not None:
+            kernels.note_engine("kernel:bfs-wavefront")
+    if report is None:
+        report = simulate_aggregation_star(
+            graph, hierarchy, factory,
+            aggregate=BFSCollectionMachine.aggregate,
+            seed=seed, message_words=_message_budget(n),
+            include_tree_preprocessing=False)
     total.merge(report.total)
     trees = {v: dict(report.outputs[v] or {}) for v in graph.nodes()}
     return BFSTreesResult(

@@ -40,6 +40,7 @@ from repro.core.bfs_collections import (
 )
 from repro.congest.machine import run_machines
 from repro.graphs.graph import Graph
+from repro.kernels import config as kernels
 from repro.primitives.bfs import BFSCollectionMachine
 from repro.primitives.global_tree import build_global_tree, disseminate
 from repro.primitives.transport import Packet, route_packets
@@ -80,10 +81,18 @@ def landmark_completion(graph: Graph, landmarks: List[int], *,
     delays = shared_delays(landmarks, len(landmarks), seed + 101)
     roots = {j: j for j in landmarks}
     budget = max(32, 12 * max(1, int(math.log2(max(graph.n, 2)))) ** 2)
-    execution = run_machines(
-        graph,
-        lambda info: BFSCollectionMachine(info, roots=roots, delays=delays),
-        word_limit=budget, seed=seed + 7)
+    if kernels.engine_ready():
+        # Closed-form direct run; metering and outputs are exact, so no
+        # engine note is left (this is one stage of a larger regime).
+        from repro.kernels import wavefront
+        execution = wavefront.direct_execution(
+            graph, roots, delays, word_limit=budget)
+    else:
+        execution = run_machines(
+            graph,
+            lambda info: BFSCollectionMachine(info, roots=roots,
+                                              delays=delays),
+            word_limit=budget, seed=seed + 7)
     total.merge(execution.metrics)
 
     parents: Dict[int, Dict[int, Optional[int]]] = {j: {} for j in landmarks}
@@ -170,8 +179,14 @@ def _apsp_message_optimal(graph: Graph, *, seed: int = 0,
     def factory(info):
         return BFSCollectionMachine(info, roots=roots, delays=delays)
 
+    plan = None
+    if kernels.engine_ready():
+        from repro.kernels import wavefront
+        plan = wavefront.bcongest_plan(graph, roots, delays)
+        if plan is not None:
+            kernels.note_engine("kernel:bfs-wavefront")
     report = simulate_bcongest(graph, factory, seed=seed,
-                               message_words=budget)
+                               message_words=budget, plan=plan)
     total.merge(report.total)
     dist = [[INF] * n for _ in range(n)]
     for v in graph.nodes():

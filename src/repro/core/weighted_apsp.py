@@ -30,6 +30,7 @@ from typing import Dict, List, Optional
 from repro.congest.metrics import Metrics
 from repro.congest.profile import mark_phase
 from repro.core.bcongest_sim import SimulationReport, simulate_bcongest
+from repro.kernels import config as kernels
 from repro.graphs.graph import Graph
 from repro.primitives.bellman_ford import BellmanFordCollectionMachine
 from repro.primitives.global_tree import build_global_tree, disseminate
@@ -115,8 +116,14 @@ def weighted_apsp(graph: Graph, *, seed: int = 0,
         return BellmanFordCollectionMachine(
             info, sources=sources, delays=delays)
 
+    plan = None
+    if kernels.engine_ready():
+        from repro.kernels import relaxation
+        plan = relaxation.bcongest_plan(graph, delays)
+        if plan is not None:
+            kernels.note_engine("kernel:bellman-ford")
     report = simulate_bcongest(graph, factory, seed=seed,
-                               message_words=message_words)
+                               message_words=message_words, plan=plan)
     total.merge(report.total)
 
     dist = [[INF] * n for _ in range(n)]

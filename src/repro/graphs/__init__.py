@@ -15,6 +15,7 @@ from repro.graphs.generators import (
     cycle,
     dumbbell,
     gnp,
+    gnp_streaming,
     grid,
     near_disconnected,
     path,
@@ -35,7 +36,7 @@ from repro.graphs.weights import (
 __all__ = [
     "EdgeKey", "Graph", "augmenting_chain", "complete", "cycle",
     "dumbbell", "edge_key", "from_edge_arrays", "from_edges",
-    "from_edges_legacy", "gnp", "grid", "legacy_rebuild",
+    "from_edges_legacy", "gnp", "gnp_streaming", "grid", "legacy_rebuild",
     "near_disconnected", "path", "power_law", "random_bipartite",
     "random_regular", "random_tree", "torus",
     "asymmetric_weights", "heavy_tailed_weights",

@@ -1,0 +1,79 @@
+"""Optional numba acceleration for the kernel inner loops.
+
+The pure-numpy tier in :mod:`repro.kernels.wavefront` is the mandatory
+implementation -- CI and the container do not ship numba, and nothing
+here may be load-bearing.  When numba *is* importable the multi-root
+BFS level sweep is compiled once per process; when it is not (or the
+JIT fails for any reason), :func:`bfs_levels` silently returns ``None``
+and the caller uses the numpy sweep.  The two produce identical
+distance arrays (pinned by tests when numba happens to be present).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba
+except Exception:  # pragma: no cover - the CI/container path
+    numba = None
+
+_compiled = None
+
+
+def available() -> bool:
+    """Whether the JIT tier can serve (import worked, not disabled)."""
+    return numba is not None
+
+
+def _build():  # pragma: no cover - requires numba
+    @numba.njit(cache=False)
+    def _bfs(indptr, indices, root, dist):
+        n = dist.shape[0]
+        for i in range(n):
+            dist[i] = -1
+        dist[root] = 0
+        frontier = np.empty(n, dtype=np.int64)
+        nxt = np.empty(n, dtype=np.int64)
+        frontier[0] = root
+        f_len = 1
+        level = 0
+        while f_len:
+            n_len = 0
+            for i in range(f_len):
+                u = frontier[i]
+                for e in range(indptr[u], indptr[u + 1]):
+                    v = indices[e]
+                    if dist[v] < 0:
+                        dist[v] = level + 1
+                        nxt[n_len] = v
+                        n_len += 1
+            frontier, nxt = nxt, frontier
+            f_len = n_len
+            level += 1
+
+    return _bfs
+
+
+def bfs_levels(indptr: np.ndarray, indices: np.ndarray, root: int,
+               out: np.ndarray) -> Optional[np.ndarray]:
+    """Fill ``out`` with hop distances from ``root`` (-1 unreached).
+
+    Returns ``out`` on success, ``None`` when the JIT tier is absent or
+    compilation failed -- the caller must then run the numpy sweep.
+    """
+    global _compiled
+    if numba is None:
+        return None
+    if _compiled is None:  # pragma: no cover - requires numba
+        try:
+            _compiled = _build()
+        except Exception:
+            return None
+    try:  # pragma: no cover - requires numba
+        _compiled(indptr, indices, root, out)
+    except Exception:  # pragma: no cover - degrade silently
+        return None
+    return out

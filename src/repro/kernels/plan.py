@@ -1,0 +1,36 @@
+"""The whole-execution replay plan consumed by the Theorem 2.1 driver.
+
+A kernel precomputes the entire BCONGEST execution -- every phase's
+broadcasters with their literal payloads, the final per-node outputs,
+and the executed-phase count -- and :func:`repro.core.bcongest_sim.
+simulate_bcongest` replays it: the identical per-phase transport packets
+are routed through the identical metered primitives, so the resulting
+:class:`~repro.congest.metrics.Metrics` are byte-identical to stepping
+the machines, while the per-node/per-round Python dispatch of the
+machine loop disappears.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Tuple
+
+
+@dataclass
+class BcongestPlan:
+    """A fully-resolved BCONGEST execution.
+
+    phase_payloads:
+        ``[(phase, [(node, payload), ...]), ...]`` -- phases ascending,
+        broadcasters ascending within a phase, payloads the literal
+        objects the machines would have returned (so size metering and
+        the oversize check reproduce exactly).
+    outputs:
+        ``{node: output}`` as the machines would report at halt.
+    executed_phases:
+        The phase counter value the machine loop would end on.
+    """
+
+    phase_payloads: List[Tuple[int, List[Tuple[int, Any]]]]
+    outputs: Dict[int, Any]
+    executed_phases: int

@@ -1,0 +1,296 @@
+"""Array-native BFS wavefront engines (the ``bfs-wavefront`` kernel).
+
+One numpy frontier sweep per root over the graph's CSR arrays yields
+every hop distance; from those, the *entire* metered execution of a
+:class:`~repro.primitives.bfs.BFSCollectionMachine` collection follows
+in closed form, because the machine's behavior is regular: node ``v``
+announces BFS ``j`` exactly once, at phase ``delays[j] + dist_j(v)``,
+with the record ``(dist_j(v), v)``, and adopts as parent the smallest-id
+neighbor one hop closer to the root.
+
+Three consumers, matching the three execution modes of the scalar path:
+
+* :func:`direct_execution` -- replays ``run_machines`` (the direct
+  BCONGEST run): per announcement, one broadcast of ``3·cnt`` words
+  over every incident edge.  Used by the landmark completion stage and
+  by ``repro bench kernels`` as the metered hot loop.
+* :func:`star_report` -- replays ``simulate_aggregation_star`` in its
+  kappa = 1 degenerate shape (eps = 1: no star clusters, every edge
+  F_1-incident), where each phase is one ``_one_shot`` of
+  ``(2 + 3·cnt)``-word point-to-point sends.
+* :func:`bcongest_plan` -- resolves the phase schedule and payloads for
+  the Theorem 2.1 simulation to replay (transport is still routed and
+  metered for real; see :mod:`repro.kernels.plan`).
+
+All emitted values are Python ints; metering reproduces the scalar
+path's :class:`~repro.congest.metrics.Metrics` exactly, including the
+first-offender oversize errors in (round, node) order.  Connected
+graphs are assumed (every node has degree >= 1), which every scenario
+builder guarantees.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.congest.errors import AlgorithmError, MessageTooLarge
+from repro.congest.metrics import Metrics
+from repro.congest.network import Execution
+from repro.graphs.graph import Graph, _gather_neighbors
+from repro.kernels import jit
+from repro.kernels.plan import BcongestPlan
+
+
+def _numpy_bfs(indptr: np.ndarray, indices: np.ndarray, root: int,
+               out: np.ndarray) -> None:
+    """Hop distances from ``root`` into ``out`` (-1 unreached)."""
+    out.fill(-1)
+    out[root] = 0
+    frontier = np.array([root], dtype=np.int64)
+    level = 0
+    while frontier.size:
+        nxt = _gather_neighbors(indptr, indices, frontier)
+        nxt = nxt[out[nxt] < 0]
+        if nxt.size == 0:
+            break
+        frontier = np.unique(nxt)
+        level += 1
+        out[frontier] = level
+
+
+def bfs_distances(graph: Graph, roots: List[int]) -> np.ndarray:
+    """(k, n) hop-distance matrix, one numpy (or JIT) sweep per root."""
+    indptr, indices = graph._indptr, graph._indices
+    dist = np.empty((len(roots), graph.n), dtype=np.int64)
+    for i, root in enumerate(roots):
+        if jit.bfs_levels(indptr, indices, int(root), dist[i]) is None:
+            _numpy_bfs(indptr, indices, int(root), dist[i])
+    return dist
+
+
+def _bfs_parents(graph: Graph, dist: np.ndarray) -> np.ndarray:
+    """Per root, the smallest-id neighbor one hop closer (n where none).
+
+    This is exactly the aggregated lexicographic-min record the machine
+    adopts: all inbox records for BFS j in the adoption round carry the
+    same distance, so the min record's origin is the min neighbor id.
+    """
+    indptr, indices = graph._indptr, graph._indices
+    n = graph.n
+    deg = np.diff(indptr)
+    starts = np.minimum(indptr[:-1], max(len(indices) - 1, 0))
+    parents = np.empty_like(dist)
+    for i in range(dist.shape[0]):
+        row = dist[i]
+        nd = row[indices]
+        want = np.repeat(row, deg) - 1
+        cand = np.where(nd == want, indices, n)
+        best = np.minimum.reduceat(cand, starts) if len(indices) \
+            else np.full(n, n, dtype=np.int64)
+        best[deg == 0] = n
+        parents[i] = np.where(row > 0, best, -1)
+    return parents
+
+
+def _sorted_roots(roots_map: Dict[int, int]) -> Tuple[List[int], List[int]]:
+    js = sorted(roots_map)
+    return js, [roots_map[j] for j in js]
+
+
+def _announcements(dist: np.ndarray, delays_arr: np.ndarray,
+                   ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-(node, phase) announcement events, sorted by (node, phase).
+
+    Returns ``(ev_v, ev_p, ev_cnt)``: node, phase, and how many BFS ids
+    the node announces in that phase.
+    """
+    k, n = dist.shape
+    phase = delays_arr[:, None] + dist
+    mask = dist >= 0
+    p_flat = phase[mask]
+    v_flat = np.broadcast_to(np.arange(n, dtype=np.int64), (k, n))[mask]
+    if p_flat.size == 0:
+        empty = np.zeros(0, dtype=np.int64)
+        return empty, empty, empty
+    modulus = int(p_flat.max()) + 1
+    keys, counts = np.unique(v_flat * modulus + p_flat, return_counts=True)
+    return keys // modulus, keys % modulus, counts
+
+
+def _first_offender(ev_v: np.ndarray, ev_p: np.ndarray, sizes: np.ndarray,
+                    limit: int) -> Optional[Tuple[int, int, int]]:
+    """The first oversize event in (round, node) order, or None.
+
+    Both scalar paths step nodes in ascending order within a phase, so
+    the first size-check failure is the (phase, node)-lexicographic
+    minimum among offenders.
+    """
+    over = sizes > limit
+    if not over.any():
+        return None
+    sub_v, sub_p, sub_s = ev_v[over], ev_p[over], sizes[over]
+    i = int(np.lexsort((sub_v, sub_p))[0])
+    return int(sub_v[i]), int(sub_p[i]), int(sub_s[i])
+
+
+def _meter_broadcast_events(metrics: Metrics, graph: Graph,
+                            ev_v: np.ndarray, ev_cnt: np.ndarray,
+                            sizes: np.ndarray) -> None:
+    """Fold the per-event edge metering into ``metrics``.
+
+    Equivalent to ``record_broadcast_sends(edge_keys[v], size)`` (resp.
+    one ``record_send`` per neighbor, which meters identically) for each
+    event: deg(v) messages of ``size`` words, +1 congestion per incident
+    edge.
+    """
+    deg = np.diff(graph._indptr)[ev_v]
+    metrics.messages += int(deg.sum())
+    metrics.words += int((sizes * deg).sum())
+    if len(sizes):
+        top = int(sizes.max())
+        if top > metrics.max_message_words:
+            metrics.max_message_words = top
+        uniq, inverse = np.unique(sizes, return_inverse=True)
+        per_size = np.bincount(inverse, weights=deg)
+        for size, count in zip(uniq.tolist(), per_size.tolist()):
+            metrics.message_sizes[int(size)] += int(count)
+    edge_keys = graph.edge_keys()
+    events_at = np.bincount(ev_v, minlength=graph.n)
+    congestion = metrics.edge_congestion
+    for v in np.nonzero(events_at)[0].tolist():
+        count = int(events_at[v])
+        for key in edge_keys[v]:
+            congestion[key] += count
+
+
+def _collection_outputs(graph: Graph, js: List[int], roots: List[int],
+                        dist: np.ndarray, parents: np.ndarray,
+                        ) -> Dict[int, Dict[int, Tuple[int, Optional[int]]]]:
+    """``{v: {j: (dist, parent)}}`` exactly as the machines report."""
+    outputs: Dict[int, Dict[int, Tuple[int, Optional[int]]]] = {
+        v: {} for v in graph.nodes()}
+    for i, j in enumerate(js):
+        root = roots[i]
+        drow = dist[i].tolist()
+        prow = parents[i].tolist()
+        for v, d in enumerate(drow):
+            if d < 0:
+                continue
+            outputs[v][j] = (d, None if v == root else prow[v])
+    return outputs
+
+
+def direct_execution(graph: Graph, roots_map: Dict[int, int],
+                     delays: Dict[int, int], *,
+                     word_limit: int) -> Execution:
+    """Closed-form replay of ``run_machines`` on a BFS collection."""
+    js, roots = _sorted_roots(roots_map)
+    dist = bfs_distances(graph, roots)
+    parents = _bfs_parents(graph, dist)
+    delays_arr = np.array([delays[j] for j in js], dtype=np.int64)
+    ev_v, ev_p, ev_cnt = _announcements(dist, delays_arr)
+    sizes = 3 * ev_cnt
+    offender = _first_offender(ev_v, ev_p, sizes, word_limit)
+    if offender is not None:
+        v, p, size = offender
+        raise MessageTooLarge(
+            f"{size} words > limit {word_limit} "
+            f"(node {v} -> {graph.neighbors(v)[0]}, round {p})")
+    metrics = Metrics()
+    metrics.broadcasts += len(ev_v)
+    _meter_broadcast_events(metrics, graph, ev_v, ev_cnt, sizes)
+    rounds = int(ev_p.max()) + 1 if len(ev_p) else 0
+    metrics.rounds += rounds
+    outputs = _collection_outputs(graph, js, roots, dist, parents)
+    return Execution(outputs=outputs, metrics=metrics, algorithms={},
+                     rounds=rounds, halted={})
+
+
+def star_report(graph: Graph, hierarchy, roots_map: Dict[int, int],
+                delays: Dict[int, int], *, message_words: int):
+    """Closed-form replay of the kappa = 1 star simulation, or None.
+
+    Eligible only in the degenerate eps = 1 shape the bfs-collection
+    binding uses: no star clusters, every node low-degree, and the F_1
+    edge set covering the whole graph -- then each phase is exactly one
+    ``_one_shot`` where every broadcaster sends ``("i", v, payload)``
+    (2 + 3·cnt words) to each neighbor, costing two metered rounds.
+    """
+    from repro.core.tradeoff_sim import TradeoffReport, _congestion_split
+
+    if hierarchy.kappa != 1 or hierarchy.n_levels < 2:
+        return None
+    level1 = hierarchy.levels[1]
+    if level1.cluster_of:
+        return None
+    f_incident: Dict[int, set] = {v: set() for v in graph.nodes()}
+    for (u, w) in level1.f_edges:
+        f_incident[u].add(w)
+        f_incident[w].add(u)
+    nbr_sets = graph.nbr_sets()
+    if any(f_incident[v] != nbr_sets[v] for v in graph.nodes()):
+        return None
+
+    js, roots = _sorted_roots(roots_map)
+    dist = bfs_distances(graph, roots)
+    parents = _bfs_parents(graph, dist)
+    delays_arr = np.array([delays[j] for j in js], dtype=np.int64)
+    ev_v, ev_p, ev_cnt = _announcements(dist, delays_arr)
+    offender = _first_offender(ev_v, ev_p, 3 * ev_cnt, message_words)
+    if offender is not None:
+        raise AlgorithmError("simulated broadcast exceeds message_words")
+
+    total = Metrics()
+    preprocessing = total.snapshot()
+    _meter_broadcast_events(total, graph, ev_v, ev_cnt, 2 + 3 * ev_cnt)
+    total.rounds += 2 * len(np.unique(ev_p))
+    simulation = total.delta_since(preprocessing)
+    on_cluster, off_cluster = _congestion_split(simulation,
+                                                hierarchy.cluster_edges())
+    return TradeoffReport(
+        outputs=_collection_outputs(graph, js, roots, dist, parents),
+        total=total,
+        preprocessing=preprocessing,
+        simulation=simulation,
+        phases=int(ev_p.max()) + 1 if len(ev_p) else 1,
+        broadcasts_simulated=len(ev_v),
+        cluster_edge_congestion=on_cluster,
+        non_cluster_edge_congestion=off_cluster,
+        mode="star",
+    )
+
+
+def bcongest_plan(graph: Graph, roots_map: Dict[int, int],
+                  delays: Dict[int, int]) -> BcongestPlan:
+    """The Theorem 2.1 replay plan for a BFS collection.
+
+    Payloads are the literal ``{j: (dist, v)}`` dicts the machines
+    return; the driver re-routes the identical transport packets, so
+    only the machine stepping is skipped.  The machines never halt, so
+    the loop ends one phase after the last announcement.
+    """
+    js, roots = _sorted_roots(roots_map)
+    dist = bfs_distances(graph, roots)
+    parents = _bfs_parents(graph, dist)
+
+    by_phase: Dict[int, Dict[int, Dict[int, Tuple[int, int]]]] = {}
+    for i, j in enumerate(js):
+        delay = delays[j]
+        drow = dist[i].tolist()
+        for v, d in enumerate(drow):
+            if d < 0:
+                continue
+            by_phase.setdefault(delay + d, {}).setdefault(v, {})[j] = (d, v)
+    phase_payloads: List[Tuple[int, List[Tuple[int, Any]]]] = []
+    for phase in sorted(by_phase):
+        phase_payloads.append(
+            (phase, [(v, by_phase[phase][v])
+                     for v in sorted(by_phase[phase])]))
+    last = phase_payloads[-1][0] if phase_payloads else 0
+    return BcongestPlan(
+        phase_payloads=phase_payloads,
+        outputs=_collection_outputs(graph, js, roots, dist, parents),
+        executed_phases=last + 1,
+    )

@@ -71,6 +71,7 @@ class SweepOutcome:
             "graph_sources": counts["graphs"],
             "oracle_sources": counts["oracles"],
             "decomposition_sources": counts["decompositions"],
+            "engine_sources": counts["engines"],
             # Wall time spent executing cells *this* invocation;
             # restored cells' recorded time (from the runs that actually
             # paid it) only counts toward the cumulative figure.
@@ -100,13 +101,15 @@ def provenance_counts(results: Sequence[CellResult], *,
     cells without a record (timeouts, errors) or whose key is in
     ``skip`` (resume-restored cells, whose provenance belongs to the
     invocation that executed them) are not counted, and ``"none"`` rows
-    -- cells with no baseline / no input decomposition -- are dropped
-    (graphs have no ``"none"`` state, every cell has a graph).
+    -- cells with no baseline / no input decomposition / no kernel plane
+    -- are dropped (graphs have no ``"none"`` state, every cell has a
+    graph).
     """
     skip = frozenset() if skip is None else skip
     graphs: Dict[str, int] = {}
     oracles: Dict[str, int] = {}
     decompositions: Dict[str, int] = {}
+    engines: Dict[str, int] = {}
     for result in results:
         if result.record is None or result.key in skip:
             continue
@@ -119,8 +122,11 @@ def provenance_counts(results: Sequence[CellResult], *,
         if decomposition != "none":
             decompositions[decomposition] = \
                 decompositions.get(decomposition, 0) + 1
+        engine = result.record.get("engine_source", "none")
+        if engine != "none":
+            engines[engine] = engines.get(engine, 0) + 1
     return {"graphs": graphs, "oracles": oracles,
-            "decompositions": decompositions}
+            "decompositions": decompositions, "engines": engines}
 
 
 def _source_counts(executed: Sequence[CellResult]) -> Dict[str, Any]:
@@ -219,7 +225,8 @@ def run_sweep(names: Optional[Sequence[str]] = None, *,
               telemetry: bool = True,
               bench_history_dir: "Optional[str]" = None,
               profile_store_dir: "Optional[str]" = None,
-              cprofile: Optional[bool] = None) -> SweepOutcome:
+              cprofile: Optional[bool] = None,
+              kernels: Optional[bool] = None) -> SweepOutcome:
     """Run (or resume) one sweep; see the module docstring.
 
     ``fresh=True`` always starts a new run directory even when an
@@ -282,6 +289,15 @@ def run_sweep(names: Optional[Sequence[str]] = None, *,
     ``repro runs report``.  Both are process-wide settings (propagated
     to pool workers through the environment) and left untouched when
     None.
+
+    ``kernels=True`` turns on the array-native round engines
+    (:mod:`repro.kernels`): eligible cells run their whole metered
+    execution as numpy sweeps instead of per-machine round stepping,
+    and each record gains an ``engine_source`` provenance label (a
+    NONDETERMINISTIC_FIELD -- the kernels replicate metering exactly,
+    so canonical records are byte-identical kernels on or off).
+    Process-wide (propagated to pool workers through the environment),
+    left untouched when None.
     """
     from repro.runner import decomposition_cache, graph_cache, oracle_cache
     from repro.runner import profile_capture
@@ -302,6 +318,9 @@ def run_sweep(names: Optional[Sequence[str]] = None, *,
         profile_capture.configure_profiles(profile_store_dir)
     if cprofile is not None:
         profile_capture.configure_cprofile(cprofile)
+    if kernels is not None:
+        from repro.kernels import config as kernels_config
+        kernels_config.configure_kernels(kernels)
 
     if faults is not None:
         from repro.congest.faults import get_fault_profile
@@ -346,6 +365,9 @@ def run_sweep(names: Optional[Sequence[str]] = None, *,
                 extra["profile_store"] = str(profiles.root)
             if profile_capture.cprofile_enabled():
                 extra["cprofile"] = True
+            from repro.kernels import config as kernels_config
+            if kernels_config.kernels_enabled():
+                extra["kernels"] = True
             run = store.create_run(specs, params, revision=revision,
                                    extra=extra)
         else:

@@ -36,10 +36,13 @@ CellIdentity = Tuple[str, str, int, int]
 # injected payload, not the label.  ``profile_source`` names where the
 # cell's round profile went (the profiles store, or "captured") when the
 # sweep ran with --profile -- observability provenance, so canonical
-# records stay byte-identical profile on or off.
+# records stay byte-identical profile on or off.  ``engine_source``
+# names which execution engine served the cell (kernel:* / vectorized:*)
+# when the sweep ran with --kernels -- the kernels replicate metering
+# exactly, so canonical records stay byte-identical kernels on or off.
 NONDETERMINISTIC_FIELDS = ("wall_time", "graph_source", "oracle_source",
                            "decomposition_source", "fault_source",
-                           "profile_source")
+                           "profile_source", "engine_source")
 
 
 def error_headline(error: Optional[str]) -> str:

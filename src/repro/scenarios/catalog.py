@@ -42,6 +42,11 @@ patched-islands           dense islands connected only by the random
                           patch-up: maximally uneven per-edge congestion
                           (the congestion-smoothing regime, Lemma 3.8)
 patched-islands-heavy     uneven congestion plus heavy-tailed weights
+huge-sparse-gnp           kernel-scale sparse G(n, 10/(n-1)) built by the
+                          streaming sampler: n = 10^5 graphs for the
+                          array-native round engines (tier 2 / slow)
+huge-grid                 kernel-scale near-square grid: n = 10^5 at
+                          diameter Theta(sqrt n), closed-form build
 bipartite-balanced        Corollary 2.8 workhorse: balanced random
                           bipartite maximum matching
 bipartite-skewed          unbalanced sides: matching bounded by the small
@@ -68,6 +73,7 @@ from repro.graphs import (
     cycle,
     dumbbell,
     gnp,
+    gnp_streaming,
     grid,
     heavy_tailed_weights,
     near_disconnected,
@@ -271,6 +277,26 @@ register(Scenario(
         alpha=1.2, seed=seed + 1),
     algorithms=("apsp-weighted",), weighted=True,
     default_size=12, sizes=(12, 16, 24), tags=("adversarial", "weighted")))
+
+# -- kernel-scale (tier 2): sizes only the array-native engines reach ------
+
+register(Scenario(
+    name="huge-sparse-gnp", regime="kernel-scale sparse, n up to 10^5",
+    description="G(n, 10/(n-1)) via the streaming gap-skip sampler: "
+                "average degree ~10 at any n, the workload the "
+                "array-native round engines are sized for",
+    build=lambda size, seed: gnp_streaming(
+        size, min(0.95, 10.0 / max(size - 1, 1)), seed=seed),
+    algorithms=("apsp-unweighted", "bfs-collection"),
+    default_size=16, sizes=(16, 100000), tags=("huge", "sparse", "kernel")))
+
+register(Scenario(
+    name="huge-grid", regime="kernel-scale grid, diameter Theta(sqrt n)",
+    description="the near-square grid at kernel scale: n = 10^5 with "
+                "~630 BFS wavefront steps per root",
+    build=_grid_build, algorithms=("apsp-unweighted", "bfs-collection"),
+    randomized=False, default_size=16, sizes=(16, 100000),
+    tags=("huge", "sparse", "kernel")))
 
 # -- bipartite matching -----------------------------------------------------
 

@@ -173,6 +173,15 @@ def run_report_payload(run, *, top: int = 10) -> Dict[str, Any]:
     faults = _fault_summary(results)
     if faults:
         payload["faults"] = faults
+    # Engine-source rollup, additive: present only when at least one
+    # cell ran under sweep --kernels.  Counted through the shared
+    # provenance helper so the "none"-row rule matches the sweep
+    # summary (the PR 6 drift lesson).
+    from repro.runner.engine import provenance_counts
+
+    engines = provenance_counts(results)["engines"]
+    if engines:
+        payload["engine_sources"] = engines
     # Hot-function rollup, additive the same way: present only when at
     # least one cell ran under sweep --cprofile.
     hot = _hot_function_rows(results, top)
@@ -209,6 +218,10 @@ def run_report(run, *, top: int = 10) -> str:
         if faults.get("poisoned"):
             parts.append(f"{faults['poisoned']} poisoned cell(s)")
         lines.append("fault injection: " + "; ".join(parts))
+    engines = payload.get("engine_sources")
+    if engines:
+        lines.append("engine sources: " + ", ".join(
+            f"{engines[source]} {source}" for source in sorted(engines)))
 
     if payload["slowest"]:
         lines.append("")

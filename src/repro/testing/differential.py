@@ -20,6 +20,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional
 
+from repro.kernels import config as kernels_config
 from repro.scenarios import Scenario, get_binding, get_scenario
 
 # Fault-aware verdicts (recorded in ``fault_verdict`` for faulted cells):
@@ -57,6 +58,7 @@ class DifferentialRecord:
     fault_verdict: str = ""        # correct-under-faults/degraded/diverged
     fault_source: str = "none"     # plan provenance (nondeterministic field)
     profile_source: str = "none"   # round-profile destination under --profile
+    engine_source: str = "none"    # which engine ran under --kernels
 
     @property
     def passed(self) -> bool:
@@ -99,6 +101,10 @@ class DifferentialRecord:
         # and is stripped from canonical payloads either way.
         if self.profile_source != "none":
             out["profile_source"] = self.profile_source
+        # Engine provenance appears only under --kernels (same pattern:
+        # a nondeterministic field, never part of canonical payloads).
+        if self.engine_source != "none":
+            out["engine_source"] = self.engine_source
         return out
 
     def canonical_dict(self) -> Dict[str, Any]:
@@ -212,11 +218,13 @@ def run_differential(scenario: Scenario | str, algorithm: str, *,
                             start=start)
     snapshot, decomposition_source = binding_decomposition_source(
         scenario, size, seed, binding, graph)
+    kernels_config.clear_note()
     if binding.decomposition is not None:
         result = binding.run(graph, derived_seed, oracle=oracle,
                              decomposition=snapshot)
     else:
         result = binding.run(graph, derived_seed, oracle=oracle)
+    engine_source = kernels_config.cell_engine_source(algorithm)
     wall_time = time.perf_counter() - start
     envelope = binding.envelope.evaluate(graph.n, graph.m,
                                          slack=scenario.envelope_slack)
@@ -229,7 +237,8 @@ def run_differential(scenario: Scenario | str, algorithm: str, *,
         metrics=result.metrics, envelope=envelope, detail=result.detail,
         derived_seed=derived_seed, wall_time=wall_time,
         graph_source=graph_source, oracle_source=oracle_source,
-        decomposition_source=decomposition_source)
+        decomposition_source=decomposition_source,
+        engine_source=engine_source)
 
 
 def _run_faulted(scenario: Scenario, algorithm: str, binding, graph,
@@ -247,6 +256,11 @@ def _run_faulted(scenario: Scenario, algorithm: str, binding, graph,
         graph.n, graph.m, slack=scenario.envelope_slack * profile.dilation)
     result = None
     error: Optional[str] = None
+    kernels_config.clear_note()
+    if not plan.is_null:
+        # Pre-note the fallback reason: a faulted execution may crash
+        # before any kernel-eligible stage consults engine_ready().
+        kernels_config.note_engine("vectorized:faults")
     with fault_context(plan):
         try:
             if binding.decomposition is not None:
@@ -259,6 +273,7 @@ def _run_faulted(scenario: Scenario, algorithm: str, binding, graph,
                 result = binding.run(graph, derived_seed, oracle=oracle)
         except Exception as exc:  # noqa: BLE001 - verdict, not crash
             error = f"{type(exc).__name__}: {exc}"
+    engine_source = kernels_config.cell_engine_source(algorithm)
     wall_time = time.perf_counter() - start
     decomposition_source = ("none" if binding.decomposition is None
                             else "inline")
@@ -273,6 +288,7 @@ def _run_faulted(scenario: Scenario, algorithm: str, binding, graph,
             derived_seed=derived_seed, wall_time=wall_time,
             graph_source=graph_source, oracle_source=oracle_source,
             decomposition_source=decomposition_source,
+            engine_source=engine_source,
             fault_profile=profile.name, fault_seed=fault_seed,
             fault_verdict=DIVERGED, fault_source=plan.describe())
     envelope_ok = (result.metrics["rounds"] <= envelope["max_rounds"]
@@ -289,6 +305,7 @@ def _run_faulted(scenario: Scenario, algorithm: str, binding, graph,
         derived_seed=derived_seed, wall_time=wall_time,
         graph_source=graph_source, oracle_source=oracle_source,
         decomposition_source=decomposition_source,
+        engine_source=engine_source,
         fault_profile=profile.name, fault_seed=fault_seed,
         fault_verdict=verdict, fault_source=plan.describe())
 

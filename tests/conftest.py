@@ -50,3 +50,6 @@ def _graph_cache_isolation():
     # The profile-capture plane exports env vars the same way; reset it
     # to pristine so one test's --profile/--cprofile cannot leak.
     profile_capture.reset()
+    # Same for the kernel plane's knob (and any pending engine note).
+    from repro.kernels import config as kernels_config
+    kernels_config.reset()

@@ -1,0 +1,300 @@
+"""The array-native kernel plane (src/repro/kernels/).
+
+The contract under test is *exact metering replication*: for every
+eligible binding, a cell executed on a kernel engine produces a
+canonical differential record byte-identical to the vectorized
+per-machine path, with identical Metrics down to the per-edge
+congestion multiset -- kernels are a perf tier, never a semantics tier.
+Everything ineligible (unlisted bindings, active fault plans, attached
+profilers, plan builders that decline) must fall through to the
+vectorized path and say why in ``engine_source``.
+"""
+
+import json
+
+import pytest
+
+from repro.congest.machine import run_machines
+from repro.core.bfs_collections import _message_budget, shared_delays
+from repro.core.weighted_apsp import weighted_apsp
+from repro.graphs import gnp_streaming, uniform_weights
+from repro.kernels import REGISTRY, jit, wavefront
+from repro.kernels import config as kernels_config
+from repro.kernels import relaxation
+from repro.primitives.bfs import BFSCollectionMachine
+from repro.runner.engine import provenance_counts, run_sweep
+from repro.scenarios import get_scenario
+from repro.testing import run_differential
+
+# Eligible (scenario, algorithm) cells spanning all three registry
+# entries and >= 6 scenarios: unweighted BFS/APSP on sparse,
+# high-diameter, dense, and random shapes; weighted APSP over integer,
+# Johnson-reweighted (negative-safe), per-direction asymmetric, and
+# heavy-tailed *float* weights.
+ELIGIBLE_CELLS = [
+    ("path", "apsp-unweighted"),
+    ("path", "bfs-collection"),
+    ("cycle", "apsp-unweighted"),
+    ("grid", "bfs-collection"),
+    ("random-tree", "apsp-unweighted"),
+    ("dense-gnp", "bfs-collection"),
+    ("expander-regular", "apsp-unweighted"),
+    ("huge-sparse-gnp", "apsp-unweighted"),
+    ("grid-weighted", "apsp-weighted"),
+    ("dense-gnp-negative", "apsp-weighted"),
+    ("dense-gnp-asymmetric", "apsp-weighted"),
+    ("heavy-tail-gnp", "apsp-weighted"),
+]
+
+
+def _canonical(record):
+    return json.dumps(record.canonical_dict(), sort_keys=True)
+
+
+def _kernel_vs_vectorized(name, algorithm, size=None, seed=0):
+    kernels_config.reset()
+    off = run_differential(name, algorithm, size=size, seed=seed)
+    assert off.engine_source == "none"
+    assert "engine_source" not in off.as_dict()
+    kernels_config.configure_kernels(True)
+    on = run_differential(name, algorithm, size=size, seed=seed)
+    return off, on
+
+
+# ---------------------------------------------------------------------------
+# Byte-identity of canonical records, kernels on vs off
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("name,algorithm", ELIGIBLE_CELLS,
+                         ids=[f"{n}-{a}" for n, a in ELIGIBLE_CELLS])
+def test_eligible_cell_is_byte_identical_and_kernel_served(name, algorithm):
+    off, on = _kernel_vs_vectorized(name, algorithm)
+    assert on.engine_source.startswith("kernel:"), on.engine_source
+    assert on.engine_source == f"kernel:{REGISTRY[algorithm]}"
+    assert _canonical(off) == _canonical(on)
+    assert off.metrics == on.metrics  # exact, not approximate
+    assert on.ok, on.failure_message()
+
+
+@pytest.mark.parametrize("name,algorithm", ELIGIBLE_CELLS[:4],
+                         ids=[f"{n}-{a}" for n, a in ELIGIBLE_CELLS[:4]])
+def test_byte_identity_holds_across_seeds(name, algorithm):
+    for seed in (1, 2):
+        off, on = _kernel_vs_vectorized(name, algorithm, seed=seed)
+        assert _canonical(off) == _canonical(on)
+        assert on.engine_source.startswith("kernel:")
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name,algorithm", ELIGIBLE_CELLS,
+                         ids=[f"{n}-{a}" for n, a in ELIGIBLE_CELLS])
+def test_byte_identity_at_requested_size(name, algorithm, scenario_size):
+    """Tier 2: the same identity at ``--scenario-size N`` (e.g. 32)."""
+    off, on = _kernel_vs_vectorized(name, algorithm, size=scenario_size)
+    assert _canonical(off) == _canonical(on)
+    assert on.engine_source.startswith("kernel:")
+
+
+# ---------------------------------------------------------------------------
+# Engine-level exactness: full Metrics equality, not just the record
+# ---------------------------------------------------------------------------
+
+def test_direct_engine_replicates_run_machines_exactly():
+    graph = get_scenario("sparse-gnp").graph(24)
+    roots = {j: j for j in range(graph.n)}
+    delays = shared_delays(list(range(graph.n)), graph.n, 3)
+    budget = _message_budget(graph.n)
+    base = run_machines(
+        graph,
+        lambda info: BFSCollectionMachine(info, roots=roots, delays=delays),
+        word_limit=budget, seed=5)
+    fast = wavefront.direct_execution(graph, roots, delays,
+                                      word_limit=budget)
+    assert fast.outputs == base.outputs
+    assert fast.metrics.as_dict() == base.metrics.as_dict()
+    assert dict(fast.metrics.edge_congestion) \
+        == dict(base.metrics.edge_congestion)
+    assert dict(fast.metrics.message_sizes) \
+        == dict(base.metrics.message_sizes)
+
+
+def test_weighted_apsp_metrics_identical_kernels_on_and_off():
+    graph = uniform_weights(get_scenario("grid-weighted").graph(12),
+                            w_max=8, seed=9)
+    kernels_config.reset()
+    off = weighted_apsp(graph, seed=2)
+    kernels_config.configure_kernels(True)
+    on = weighted_apsp(graph, seed=2)
+    assert kernels_config.consume_note() == "kernel:bellman-ford"
+    assert on.dist == off.dist
+    assert on.parents == off.parents
+    assert on.metrics.as_dict() == off.metrics.as_dict()
+    assert dict(on.metrics.edge_congestion) \
+        == dict(off.metrics.edge_congestion)
+    assert on.detail == off.detail
+
+
+# ---------------------------------------------------------------------------
+# Fallbacks: everything ineligible goes vectorized, with the reason
+# ---------------------------------------------------------------------------
+
+def test_unlisted_binding_reports_ineligible():
+    kernels_config.configure_kernels(True)
+    record = run_differential("bipartite-balanced", "matching")
+    assert record.engine_source == "vectorized:ineligible"
+    assert record.ok, record.failure_message()
+
+
+def test_faulted_cell_falls_back_to_vectorized():
+    kernels_config.configure_kernels(True)
+    record = run_differential("random-tree", "apsp-unweighted",
+                              faults="lossy-light", fault_seed=7)
+    assert record.engine_source == "vectorized:faults"
+
+
+def test_active_profiler_falls_back_to_vectorized():
+    from repro.congest.profile import RoundProfiler, profile_context
+
+    kernels_config.configure_kernels(True)
+    with profile_context(RoundProfiler()):
+        assert not kernels_config.engine_ready()
+    assert kernels_config.cell_engine_source("apsp-unweighted") \
+        == "vectorized:profile"
+
+
+def test_oversized_int_weights_decline_the_plan():
+    graph = uniform_weights(get_scenario("grid-weighted").graph(12),
+                            w_max=8, seed=9)
+    huge = {key: w * (2 ** 60) for key, w in graph.weights.items()}
+    graph = graph.reweighted(huge)
+    delays = {j: 1 for j in range(graph.n)}
+    assert relaxation.bcongest_plan(graph, delays) is None
+    # Through the driver: eligible binding, no kernel note -> fallback.
+    kernels_config.configure_kernels(True)
+    kernels_config.clear_note()
+    weighted_apsp(graph, seed=0)
+    assert kernels_config.cell_engine_source("apsp-weighted") \
+        == "vectorized:fallback"
+
+
+def test_disabled_plane_reports_none_and_omits_the_field():
+    kernels_config.reset()
+    record = run_differential("path", "apsp-unweighted")
+    assert record.engine_source == "none"
+    assert "engine_source" not in record.as_dict()
+
+
+def test_jit_degrades_silently_to_pure_numpy():
+    import numpy as np
+
+    graph = get_scenario("grid").graph(16)
+    dist = wavefront.bfs_distances(graph, [0])
+    assert dist.shape == (1, graph.n) and int(dist[0, 0]) == 0
+    if not jit.available():
+        out = np.empty(graph.n, dtype=np.int64)
+        assert jit.bfs_levels(graph._indptr, graph._indices, 0,
+                              out) is None
+
+
+# ---------------------------------------------------------------------------
+# Sweep integration: summary counts, nondeterministic-field handling
+# ---------------------------------------------------------------------------
+
+def test_sweep_summary_counts_engine_sources():
+    kernels_config.configure_kernels(True)
+    outcome = run_sweep(["path", "cycle"], seeds=(0,))
+    summary = outcome.summary()
+    counts = summary["engine_sources"]
+    assert sum(counts.values()) == len(
+        [r for r in outcome.results
+         if r.spec.algorithm in REGISTRY])
+    assert all(source.startswith("kernel:") for source in counts)
+    # The shared helper drops "none" rows, mirroring oracle sources.
+    assert "none" not in provenance_counts(outcome.results)["engines"]
+
+
+def test_sweep_canonical_records_identical_kernels_on_and_off():
+    kernels_config.reset()
+    off = run_sweep(["path", "cycle"], seeds=(0,))
+    kernels_config.configure_kernels(True)
+    on = run_sweep(["path", "cycle"], seeds=(0,))
+    assert [r.canonical_record() for r in off.results] \
+        == [r.canonical_record() for r in on.results]
+    assert off.summary()["engine_sources"] == {}
+
+
+# ---------------------------------------------------------------------------
+# Kernel-scale (tier 2): n = 10^5 under the streaming builder
+# ---------------------------------------------------------------------------
+
+def _reference_bfs(graph, root):
+    from collections import deque
+
+    dist = {root: 0}
+    queue = deque([root])
+    while queue:
+        u = queue.popleft()
+        for v in graph.neighbors(u):
+            if v not in dist:
+                dist[v] = dist[u] + 1
+                queue.append(v)
+    return dist
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", ["huge-sparse-gnp", "huge-grid"])
+def test_kernel_scale_scenarios_build_and_solve(name):
+    scenario = get_scenario(name)
+    graph = scenario.graph(100000)
+    assert graph.is_connected() and graph.n >= 90000
+    roots = [0, graph.n // 2]
+    dist = wavefront.bfs_distances(graph, roots)
+    for row, root in zip(dist, roots):
+        reference = _reference_bfs(graph, root)
+        assert len(reference) == graph.n  # connected
+        assert all(int(row[v]) == d for v, d in reference.items())
+
+
+@pytest.mark.slow
+def test_direct_engine_runs_at_kernel_scale():
+    graph = get_scenario("huge-sparse-gnp").graph(100000)
+    root_list = [0, 1, 2, 3]
+    roots = {j: j for j in root_list}
+    delays = shared_delays(root_list, len(root_list), 0)
+    execution = wavefront.direct_execution(
+        graph, roots, delays, word_limit=_message_budget(graph.n))
+    assert execution.metrics.messages > graph.n
+    assert execution.metrics.rounds > 0
+    reference = _reference_bfs(graph, 0)
+    for v in (1, graph.n // 2, graph.n - 1):
+        d, _parent = execution.outputs[v][0]
+        assert d == reference[v]
+
+
+# ---------------------------------------------------------------------------
+# The streaming G(n, p) sampler
+# ---------------------------------------------------------------------------
+
+def test_gnp_streaming_is_deterministic_and_connected():
+    a = gnp_streaming(200, 0.05, seed=4)
+    b = gnp_streaming(200, 0.05, seed=4)
+    assert a.adj == b.adj
+    assert a.is_connected()
+    assert a.adj != gnp_streaming(200, 0.05, seed=5).adj
+
+
+def test_gnp_streaming_edge_count_tracks_expectation():
+    n, p = 400, 0.03
+    expected = p * n * (n - 1) / 2
+    ms = [gnp_streaming(n, p, seed=s).m for s in range(8)]
+    mean = sum(ms) / len(ms)
+    assert 0.7 * expected < mean < 1.4 * expected
+
+
+def test_gnp_streaming_rejects_degenerate_parameters():
+    with pytest.raises(ValueError):
+        gnp_streaming(1, 0.5)
+    with pytest.raises(ValueError):
+        gnp_streaming(10, 0.0)
+    with pytest.raises(ValueError):
+        gnp_streaming(10, 1.0)
